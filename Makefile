@@ -1,0 +1,30 @@
+# PPEP reproduction — common targets.
+
+GO ?= go
+
+.PHONY: all test bench experiments fmt vet tools
+
+all: test
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Quick pass over every table/figure (shrunken benchmarks).
+experiments:
+	$(GO) run ./cmd/ppep-experiments -scale 0.1
+
+# The flagship run behind EXPERIMENTS.md (minutes, full suite list).
+flagship:
+	$(GO) run ./cmd/ppep-experiments -scale 0.5 -phenom -md docs/RESULTS.md
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+tools:
+	$(GO) build ./cmd/...

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"testing"
+
+	"ppep/internal/arch"
+	"ppep/internal/core"
+	"ppep/internal/core/eventpred"
+	"ppep/internal/experiments"
+	"ppep/internal/fxsim"
+	"ppep/internal/workload"
+)
+
+// benchmarkTick drives the chip simulator's tick loop with a full
+// complement of busy cores.
+func benchmarkTick(b *testing.B) {
+	cfg := fxsim.DefaultFX8320Config()
+	cfg.IdealSensor = true
+	chip := fxsim.New(cfg)
+	run := workload.Run{Name: "tick", Suite: "micro",
+		Members: []workload.Member{{Bench: workload.BenchA(), Threads: 8}}}
+	if _, err := chip.PlaceRun(run, fxsim.PlaceCompact, true); err != nil {
+		b.Fatal(err)
+	}
+	if err := chip.SetAllPStates(arch.VF5); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		chip.Tick()
+	}
+}
+
+// TestBenchHarnessSmoke keeps the benchmark harness correct under plain
+// `go test`: it runs the cheapest benchmark body once.
+func TestBenchHarnessSmoke(t *testing.T) {
+	result := testing.Benchmark(func(b *testing.B) {
+		benchmarkTick(b)
+	})
+	if result.N <= 0 {
+		t.Error("tick benchmark did not run")
+	}
+}
+
+// benchmarkRates builds a busy core's event-rate vector.
+func benchmarkRates() arch.EventVec {
+	var ev arch.EventVec
+	inst := 3e9
+	ev.Set(arch.RetiredInstructions, inst)
+	ev.Set(arch.RetiredUOP, 1.3*inst)
+	ev.Set(arch.FPUPipeAssignment, 0.4*inst)
+	ev.Set(arch.InstructionCacheFetches, 0.25*inst)
+	ev.Set(arch.DataCacheAccesses, 0.45*inst)
+	ev.Set(arch.RequestToL2Cache, 0.02*inst)
+	ev.Set(arch.RetiredBranches, 0.15*inst)
+	ev.Set(arch.RetiredMispredBranches, 0.004*inst)
+	ev.Set(arch.L2CacheMisses, 0.008*inst)
+	ev.Set(arch.DispatchStalls, 0.5*inst)
+	ev.Set(arch.CPUClocksNotHalted, 1.2*inst)
+	ev.Set(arch.MABWaitCycles, 0.3*inst)
+	return ev
+}
+
+// benchmarkEventVec exposes benchmarkRates under the name bench_test uses.
+func benchmarkEventVec() arch.EventVec { return benchmarkRates() }
+
+// predictRates adapts eventpred for the benchmark without a long import
+// list in bench_test.go.
+func predictRates(ev arch.EventVec, from, to float64) (arch.EventVec, bool) {
+	return eventpred.PredictRates(ev, from, to)
+}
+
+// trainingSetOf rebuilds a TrainingSet view over a campaign's traces.
+func trainingSetOf(c *experiments.Campaign) core.TrainingSet {
+	return core.TrainingSet{IdleTraces: c.Idle, Runs: c.Runs, PGSweeps: c.PGSweeps}
+}
+
+// trainModels re-runs the regression pipeline.
+func trainModels(ts core.TrainingSet, tbl arch.VFTable) (*core.Models, error) {
+	return core.Train(ts, tbl)
+}

@@ -1,0 +1,124 @@
+// Command ppep-experiments reproduces the paper's evaluation: it executes
+// the measurement campaign on the simulated platform, trains the PPEP
+// models, and regenerates every table and figure.
+//
+// Usage:
+//
+//	ppep-experiments [-run fig2,fig7] [-scale 0.1] [-max 8] [-phenom] [-list]
+//
+// -scale shrinks benchmark lengths for quick runs (1.0 = the full-length
+// campaign); -max caps the per-suite run count; -run selects a
+// comma-separated subset of experiments; -phenom additionally runs the
+// secondary-platform validation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ppep/internal/experiments"
+)
+
+func main() {
+	var (
+		runList = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		scale   = flag.Float64("scale", 0.1, "benchmark length scale (1.0 = full length)")
+		maxRuns = flag.Int("max", 0, "cap runs per suite (0 = all)")
+		phenom  = flag.Bool("phenom", false, "also run the Phenom II validation campaign")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		md      = flag.String("md", "", "also write all results as a Markdown report to this file")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Desc)
+		}
+		return
+	}
+
+	selected := experiments.All()
+	if *runList != "" {
+		selected = selected[:0]
+		for _, id := range strings.Split(*runList, ",") {
+			e, err := experiments.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	opts := experiments.Options{Scale: *scale, MaxRunsPerSuite: *maxRuns}
+	fmt.Printf("building FX-8320 campaign (scale %.2f, max/suite %d)...\n", *scale, *maxRuns)
+	start := time.Now()
+	camp, err := experiments.NewFXCampaign(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("campaign ready in %.1fs: %d run traces, α=%.2f\n\n",
+		time.Since(start).Seconds(), len(camp.Runs), camp.Models.Dyn.Alpha)
+
+	failed := 0
+	var all []*experiments.Result
+	for _, e := range selected {
+		t0 := time.Now()
+		results, err := e.Run(camp)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		for _, r := range results {
+			fmt.Println(r)
+		}
+		all = append(all, results...)
+		fmt.Printf("   (%.1fs)\n\n", time.Since(t0).Seconds())
+	}
+
+	if *md != "" {
+		f, err := os.Create(*md)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		title := fmt.Sprintf("PPEP reproduction results (scale %.2f)", *scale)
+		if err := experiments.WriteMarkdown(f, title, all); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("wrote Markdown report to %s\n", *md)
+	}
+
+	if *phenom {
+		fmt.Println("building Phenom II validation campaign...")
+		ph, err := experiments.NewPhenomCampaign(opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		res, err := ph.IdleModelAccuracy()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(res)
+		a, b, err := ph.Fig2()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(a)
+		fmt.Println(b)
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,121 @@
+// Command ppep-train executes the one-time offline training the paper
+// describes (Section IV): idle heat/cool transients at every VF state,
+// the benchmark measurement campaign, the power-gating sweeps, and the
+// regressions — then prints every trained coefficient.
+//
+// Usage:
+//
+//	ppep-train [-scale 0.1] [-max 0] [-csv dir]
+//
+// -csv dumps each run's measurement trace as CSV into the directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"ppep/internal/arch"
+	"ppep/internal/experiments"
+)
+
+func main() {
+	var (
+		scale  = flag.Float64("scale", 0.1, "benchmark length scale (1.0 = full length)")
+		max    = flag.Int("max", 0, "cap runs per suite (0 = all)")
+		csvDir = flag.String("csv", "", "directory to dump per-run CSV traces")
+		save   = flag.String("save", "", "write the trained model coefficients to this JSON file")
+	)
+	flag.Parse()
+
+	start := time.Now()
+	camp, err := experiments.NewFXCampaign(experiments.Options{Scale: *scale, MaxRunsPerSuite: *max})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("campaign: %d run traces in %.1fs\n\n", len(camp.Runs), time.Since(start).Seconds())
+
+	m := camp.Models
+	fmt.Println("== idle power model (Eq. 2): P = W1(V)·T + W0(V) ==")
+	fmt.Printf("W1 coefficients (V^0..V^%d): %v\n", m.Idle.W1.Degree(), m.Idle.W1)
+	fmt.Printf("W0 coefficients (V^0..V^%d): %v\n", m.Idle.W0.Degree(), m.Idle.W0)
+	for _, vf := range camp.Table.States() {
+		p := camp.Table.Point(vf)
+		fmt.Printf("  %v (%.3f V): P_idle(320K) = %.2f W\n", vf, p.Voltage, m.Idle.Estimate(p.Voltage, 320))
+	}
+
+	fmt.Println("\n== dynamic power model (Eq. 3) ==")
+	fmt.Printf("alpha = %.3f, VRef = %.3f V\n", m.Dyn.Alpha, m.Dyn.VRef)
+	for i, ev := range arch.Events[:arch.NumPowerEvents] {
+		fmt.Printf("  W%d (%-42s) = %.4g W per event/s\n", i+1, ev.Name, m.Dyn.W[i])
+	}
+
+	fmt.Println("\n== power-gating decomposition (Section IV-D) ==")
+	for _, vf := range camp.Table.States() {
+		d := m.PG[vf]
+		fmt.Printf("  %v: Pidle(CU)=%.2f W  Pidle(NB)=%.2f W  Pidle(Base)=%.2f W\n",
+			vf, d.PidleCU, d.PidleNB, d.PidleBase)
+	}
+
+	if camp.GG != nil {
+		fmt.Println("\n== Green Governors baseline ==")
+		fmt.Printf("Ceff = %.4g·nBusy + %.4g·UPC + %.4g·FPC + %.4g·DCPC + %.4g·ICPC (W/(V²·GHz))\n",
+			camp.GG.C[0], camp.GG.C[1], camp.GG.C[2], camp.GG.C[3], camp.GG.C[4])
+		for _, vf := range camp.Table.States() {
+			fmt.Printf("  static[%v] = %.2f W\n", vf, camp.GG.StaticW[vf])
+		}
+	}
+
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := camp.Models.Save(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("\nwrote model coefficients to %s\n", *save)
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		n := 0
+		for _, rt := range camp.Runs {
+			name := fmt.Sprintf("%s_%v.csv", sanitize(rt.Name), rt.VF)
+			f, err := os.Create(filepath.Join(*csvDir, name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := rt.Trace.WriteCSV(f); err != nil {
+				f.Close()
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			f.Close()
+			n++
+		}
+		fmt.Printf("\nwrote %d CSV traces to %s\n", n, *csvDir)
+	}
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch r {
+		case ' ', '+', '/':
+			return '_'
+		}
+		return r
+	}, s)
+}

@@ -1,0 +1,108 @@
+// Command ppep-wlgen inspects the synthetic benchmark suites: per-program
+// profiles, counter signatures, and the paper's 152 evaluation
+// combinations.
+//
+// Usage:
+//
+//	ppep-wlgen                 # summary of all suites
+//	ppep-wlgen -suite SPEC     # one suite's profiles
+//	ppep-wlgen -runs           # the 152 combinations
+//	ppep-wlgen -bench 433.milc # one profile in detail
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ppep/internal/workload"
+)
+
+func main() {
+	var (
+		suite = flag.String("suite", "", "suite to list: SPEC, PARSEC, NPB")
+		runs  = flag.Bool("runs", false, "list the 152 evaluation combinations")
+		bench = flag.String("bench", "", "show one benchmark profile in detail")
+	)
+	flag.Parse()
+
+	switch {
+	case *bench != "":
+		showBench(*bench)
+	case *runs:
+		showRuns()
+	case *suite != "":
+		showSuite(*suite)
+	default:
+		fmt.Printf("%-8s %3s programs\n", "SPEC", fmt.Sprint(len(workload.SPECBenchmarks())))
+		fmt.Printf("%-8s %3s programs\n", "PARSEC", fmt.Sprint(len(workload.PARSECBenchmarks())))
+		fmt.Printf("%-8s %3s programs\n", "NPB", fmt.Sprint(len(workload.NPBBenchmarks())))
+		fmt.Printf("\ncombinations: %d SPEC + %d PARSEC + %d NPB = %d\n",
+			len(workload.SPECRuns()), len(workload.PARSECRuns()), len(workload.NPBRuns()),
+			len(workload.AllRuns()))
+	}
+}
+
+func suiteList(name string) []*workload.Benchmark {
+	switch name {
+	case "SPEC":
+		return workload.SPECBenchmarks()
+	case "PARSEC":
+		return workload.PARSECBenchmarks()
+	case "NPB":
+		return workload.NPBBenchmarks()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown suite %q\n", name)
+		os.Exit(2)
+		return nil
+	}
+}
+
+func showSuite(name string) {
+	fmt.Printf("%-16s %-10s %3s %8s %8s %9s %7s\n",
+		"benchmark", "class", "FP", "G-inst", "phases", "L2miss/ki", "noise")
+	for _, b := range suiteList(name) {
+		p := b.Phases[0]
+		fp := ""
+		if b.FP {
+			fp = "fp"
+		}
+		fmt.Printf("%-16s %-10s %3s %8.0f %8d %9.2f %7.2f\n",
+			b.Name, b.Class, fp, b.Instructions/1e9, len(b.Phases),
+			p.PerInst.L2Miss*1000, p.Noise)
+	}
+}
+
+func showRuns() {
+	for _, r := range workload.AllRuns() {
+		fmt.Printf("%-4s %-22s %d threads\n", r.Suite, r.Name, r.TotalThreads())
+	}
+}
+
+func showBench(name string) {
+	var found *workload.Benchmark
+	for _, b := range append(append(workload.SPECBenchmarks(),
+		workload.PARSECBenchmarks()...), workload.NPBBenchmarks()...) {
+		if b.Name == name {
+			found = b
+			break
+		}
+	}
+	if found == nil {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", name)
+		os.Exit(2)
+	}
+	b := found
+	fmt.Printf("%s (%s, %s)\n", b.Name, b.Suite, b.Class)
+	fmt.Printf("instructions: %.0fG, loops: %d\n", b.Instructions/1e9, b.Loops)
+	fmt.Printf("freq sensitivities: %v\n", b.FreqSens)
+	for i, p := range b.Phases {
+		fmt.Printf("phase %d %q (weight %.2f):\n", i, p.Name, p.Weight)
+		fmt.Printf("  baseCPI %.2f  L3missRatio %.2f  MLP %.2f  noise %.2f\n",
+			p.BaseCPI, p.L3MissRatio, p.MLP, p.Noise)
+		r := p.PerInst
+		fmt.Printf("  per-inst: uops %.2f fpu %.2f ic %.2f dc %.2f l2req %.4f "+
+			"br %.3f misp %.4f l2miss %.4f\n",
+			r.Uops, r.FPU, r.ICFetch, r.DCAccess, r.L2Req, r.Branch, r.Mispred, r.L2Miss)
+	}
+}

@@ -1,0 +1,157 @@
+// Command ppepd runs the PPEP daemon against a simulated chip, the way
+// the paper's user-level daemon runs on real silicon: it trains the
+// models once, binds a workload, then samples the hardware every 200 ms —
+// counters through the MSR interface, temperature through hwmon — and
+// prints live per-chip PPE projections for every VF state, applying an
+// optional DVFS policy.
+//
+// Usage:
+//
+//	ppepd [-workload 433x2] [-vf 5] [-seconds 10] [-policy none|energy|edp|cap]
+//	      [-cap 70] [-scale 0.05]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ppep/internal/arch"
+	"ppep/internal/core"
+	"ppep/internal/dvfs"
+	"ppep/internal/experiments"
+	"ppep/internal/fxsim"
+	"ppep/internal/hwmon"
+	"ppep/internal/msr"
+	"ppep/internal/trace"
+	"ppep/internal/workload"
+)
+
+func main() {
+	var (
+		wl      = flag.String("workload", "433x2", "workload: SPEC number with instance count (429x1, 433x4), 'mix' for the capping mix")
+		vf      = flag.Int("vf", 5, "initial VF state (1..5)")
+		seconds = flag.Float64("seconds", 10, "run length in simulated seconds")
+		policy  = flag.String("policy", "none", "DVFS policy: none, energy, edp, cap")
+		capW    = flag.Float64("cap", 70, "power budget for -policy cap")
+		scale   = flag.Float64("scale", 0.05, "training campaign scale")
+		load    = flag.String("load", "", "load model coefficients from a ppep-train -save file instead of training")
+	)
+	flag.Parse()
+
+	var models *core.Models
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		models, err = core.LoadModels(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("loaded models from %s: alpha=%.2f\n\n", *load, models.Dyn.Alpha)
+	} else {
+		fmt.Println("training PPEP models (one-time offline effort)...")
+		camp, err := experiments.NewFXCampaign(experiments.Options{Scale: *scale, MaxRunsPerSuite: 6})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		models = camp.Models
+		fmt.Printf("trained: alpha=%.2f\n\n", models.Dyn.Alpha)
+	}
+
+	run, err := workload.ParseRunSpec(*wl)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg := fxsim.DefaultFX8320Config()
+	cfg.PowerGating = true
+	if *policy == "cap" {
+		cfg.PerCUPlanes = true
+	}
+	chip := fxsim.New(cfg)
+	chip.SetTempK(318)
+
+	// Device-level access, as on the real platform.
+	msrDev := msr.Open(chip)
+	diode := hwmon.Open(chip)
+
+	var ctl fxsim.Controller
+	switch *policy {
+	case "none":
+	case "energy":
+		ctl = policyFunc(func(ch *fxsim.Chip, iv trace.Interval) {
+			if rep, err := models.Analyze(iv); err == nil {
+				_ = ch.SetAllPStates(dvfs.EnergyOptimal(rep))
+			}
+		})
+	case "edp":
+		ctl = policyFunc(func(ch *fxsim.Chip, iv trace.Interval) {
+			if rep, err := models.Analyze(iv); err == nil {
+				_ = ch.SetAllPStates(dvfs.EDPOptimal(rep))
+			}
+		})
+	case "cap":
+		ctl = &dvfs.PPEPCapper{Models: models, Target: func(float64) float64 { return *capW }}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown policy %q\n", *policy)
+		os.Exit(2)
+	}
+
+	printer := &daemonPrinter{models: models, inner: ctl, msr: msrDev, diode: diode}
+	_, err = chip.Collect(run, fxsim.RunOpts{
+		VF: arch.VFState(*vf), MaxTimeS: *seconds, Restart: true,
+		Placement: fxsim.PlaceScatter, WarmTempK: 318, Controller: printer,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// policyFunc adapts a closure into a Controller.
+type policyFunc func(*fxsim.Chip, trace.Interval)
+
+func (f policyFunc) Decide(c *fxsim.Chip, iv trace.Interval) { f(c, iv) }
+
+// daemonPrinter prints the live PPE report each interval, then delegates
+// to the wrapped policy.
+type daemonPrinter struct {
+	models *core.Models
+	inner  fxsim.Controller
+	msr    *msr.Device
+	diode  *hwmon.Sensor
+	step   int
+}
+
+func (d *daemonPrinter) Decide(chip *fxsim.Chip, iv trace.Interval) {
+	d.step++
+	rep, err := d.models.Analyze(iv)
+	if err != nil {
+		return
+	}
+	if d.step%5 == 1 {
+		// Demonstrate the device-level read path alongside the interval.
+		pstate, _ := d.msr.Rdmsr(0, msr.PStateStatus)
+		fmt.Printf("t=%5.1fs  diode=%.1f°C  P-state=P%d  measured=%.1fW\n",
+			iv.TimeS, float64(d.diode.Temp1InputMilliC())/1000, pstate, iv.MeasPowerW)
+		fmt.Printf("  %-6s %10s %10s %10s %12s\n", "state", "chip W", "idle W", "IPS", "J/interval")
+		for i := len(rep.PerVF) - 1; i >= 0; i-- {
+			p := rep.PerVF[i]
+			marker := " "
+			if p.VF == rep.MeasuredVF {
+				marker = "*"
+			}
+			fmt.Printf(" %s%-6v %10.1f %10.1f %10.2e %12.2f\n",
+				marker, p.VF, p.ChipW, p.IdleW, p.TotalIPS, p.IntervalEnergyJ)
+		}
+	}
+	if d.inner != nil {
+		d.inner.Decide(chip, iv)
+	}
+}

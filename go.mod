@@ -1,0 +1,3 @@
+module ppep
+
+go 1.22

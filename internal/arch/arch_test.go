@@ -1,0 +1,195 @@
+package arch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestVFTableOrdering(t *testing.T) {
+	for _, tbl := range []struct {
+		name string
+		tab  VFTable
+	}{
+		{"FX8320", FX8320VFTable},
+		{"PhenomII", PhenomIIVFTable},
+	} {
+		t.Run(tbl.name, func(t *testing.T) {
+			for i := 1; i < len(tbl.tab); i++ {
+				if tbl.tab[i].Freq <= tbl.tab[i-1].Freq {
+					t.Errorf("state %d freq %.3f not above state %d freq %.3f",
+						i+1, tbl.tab[i].Freq, i, tbl.tab[i-1].Freq)
+				}
+				if tbl.tab[i].Voltage < tbl.tab[i-1].Voltage {
+					t.Errorf("state %d voltage %.3f below state %d voltage %.3f",
+						i+1, tbl.tab[i].Voltage, i, tbl.tab[i-1].Voltage)
+				}
+			}
+		})
+	}
+}
+
+func TestFX8320PaperPoints(t *testing.T) {
+	// Section II gives the exact five points.
+	want := map[VFState]VFPoint{
+		VF5: {1.320, 3.5},
+		VF4: {1.242, 2.9},
+		VF3: {1.128, 2.3},
+		VF2: {1.008, 1.7},
+		VF1: {0.888, 1.4},
+	}
+	for s, p := range want {
+		got := FX8320VFTable.Point(s)
+		if got != p {
+			t.Errorf("%s: got %+v want %+v", s, got, p)
+		}
+	}
+}
+
+func TestVFTableAccessors(t *testing.T) {
+	tab := FX8320VFTable
+	if tab.Top() != VF5 {
+		t.Errorf("Top() = %v, want VF5", tab.Top())
+	}
+	if tab.Bottom() != VF1 {
+		t.Errorf("Bottom() = %v, want VF1", tab.Bottom())
+	}
+	states := tab.States()
+	if len(states) != 5 || states[0] != VF1 || states[4] != VF5 {
+		t.Errorf("States() = %v", states)
+	}
+	if !tab.Contains(VF3) || tab.Contains(0) || tab.Contains(6) {
+		t.Error("Contains misclassified states")
+	}
+	if PhenomIIVFTable.Contains(VF5) {
+		t.Error("PhenomII should not contain VF5")
+	}
+}
+
+func TestVFStateString(t *testing.T) {
+	if VF3.String() != "VF3" {
+		t.Errorf("got %q", VF3.String())
+	}
+}
+
+func TestTableIEventCodes(t *testing.T) {
+	// Table I verbatim.
+	want := map[EventID]uint16{
+		RetiredUOP:              0x0c1,
+		FPUPipeAssignment:       0x000,
+		InstructionCacheFetches: 0x080,
+		DataCacheAccesses:       0x040,
+		RequestToL2Cache:        0x07d,
+		RetiredBranches:         0x0c2,
+		RetiredMispredBranches:  0x0c3,
+		L2CacheMisses:           0x07e,
+		DispatchStalls:          0x0d1,
+		CPUClocksNotHalted:      0x076,
+		RetiredInstructions:     0x0c0,
+		MABWaitCycles:           0x069,
+	}
+	for id, code := range want {
+		if Info(id).Code != code {
+			t.Errorf("event %d: code %#x, want %#x", id, Info(id).Code, code)
+		}
+		if Info(id).ID != id {
+			t.Errorf("event %d: mismatched ID %d", id, Info(id).ID)
+		}
+	}
+	if len(want) != NumEvents {
+		t.Fatalf("expected %d events in Table I check", NumEvents)
+	}
+}
+
+func TestEventVecGetSet(t *testing.T) {
+	var v EventVec
+	v.Set(DispatchStalls, 42)
+	if v.Get(DispatchStalls) != 42 {
+		t.Errorf("Get after Set = %v", v.Get(DispatchStalls))
+	}
+	if v.Get(RetiredUOP) != 0 {
+		t.Errorf("untouched entry = %v", v.Get(RetiredUOP))
+	}
+}
+
+func TestEventVecAddScale(t *testing.T) {
+	var a, b EventVec
+	a.Set(RetiredUOP, 1)
+	a.Set(MABWaitCycles, 3)
+	b.Set(RetiredUOP, 2)
+	a.Add(b)
+	if a.Get(RetiredUOP) != 3 || a.Get(MABWaitCycles) != 3 {
+		t.Errorf("Add result %+v", a)
+	}
+	s := a.Scale(2)
+	if s.Get(RetiredUOP) != 6 || s.Get(MABWaitCycles) != 6 {
+		t.Errorf("Scale result %+v", s)
+	}
+	// Scale is by-value; a must be unchanged.
+	if a.Get(RetiredUOP) != 3 {
+		t.Errorf("Scale mutated receiver: %+v", a)
+	}
+}
+
+func TestEventVecPowerEvents(t *testing.T) {
+	var v EventVec
+	for i := EventID(1); i <= NumEvents; i++ {
+		v.Set(i, float64(i))
+	}
+	p := v.PowerEvents()
+	if len(p) != NumPowerEvents {
+		t.Fatalf("len = %d", len(p))
+	}
+	for i, x := range p {
+		if x != float64(i+1) {
+			t.Errorf("p[%d] = %v", i, x)
+		}
+	}
+}
+
+func TestEventVecAddCommutes(t *testing.T) {
+	f := func(a, b [NumEvents]float64) bool {
+		va, vb := EventVec(a), EventVec(b)
+		x, y := va, vb
+		x.Add(vb)
+		y.Add(va)
+		return x == y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTopology(t *testing.T) {
+	if FX8320.NumCores() != 8 {
+		t.Errorf("FX cores = %d", FX8320.NumCores())
+	}
+	if PhenomII.NumCores() != 6 {
+		t.Errorf("Phenom cores = %d", PhenomII.NumCores())
+	}
+	if FX8320.CUOf(0) != 0 || FX8320.CUOf(1) != 0 || FX8320.CUOf(2) != 1 || FX8320.CUOf(7) != 3 {
+		t.Error("FX CUOf mapping wrong")
+	}
+	if PhenomII.CUOf(5) != 5 {
+		t.Error("Phenom CUOf mapping wrong")
+	}
+	if !FX8320.HasPowerGating || PhenomII.HasPowerGating {
+		t.Error("power gating flags wrong")
+	}
+}
+
+func TestNBPoints(t *testing.T) {
+	// Section V-C2: VF_lo is a 20% voltage drop and 50% frequency drop.
+	if NBLo.Freq != NBHi.Freq/2 {
+		t.Errorf("NB low freq %v, want half of %v", NBLo.Freq, NBHi.Freq)
+	}
+	ratio := NBLo.Voltage / NBHi.Voltage
+	if ratio < 0.79 || ratio > 0.81 {
+		t.Errorf("NB voltage ratio %.3f, want ~0.80", ratio)
+	}
+}
+
+func TestMethodologyTiming(t *testing.T) {
+	if DecisionIntervalMS/PowerSamplePeriodMS != 10 {
+		t.Error("paper uses 10 power readings per decision interval")
+	}
+}

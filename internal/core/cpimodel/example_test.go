@@ -1,0 +1,34 @@
+package cpimodel_test
+
+import (
+	"fmt"
+
+	"ppep/internal/arch"
+	"ppep/internal/core/cpimodel"
+)
+
+// The heart of the performance model: one interval's CPI and MCPI at the
+// current frequency predict the CPI at any other frequency (Equation 1).
+func ExampleSample_Predict() {
+	// Measured at 3.5 GHz: CPI 1.0, of which 0.4 cycles/inst were spent
+	// waiting on leading loads (MAB wait cycles).
+	s := cpimodel.Sample{CPI: 1.0, MCPI: 0.4, FreqGHz: 3.5}
+	// At 1.4 GHz, the memory time costs proportionally fewer cycles.
+	fmt.Printf("CPI(1.4 GHz) = %.2f\n", s.Predict(1.4))
+	fmt.Printf("CPI(3.5 GHz) = %.2f\n", s.Predict(3.5))
+	// Output:
+	// CPI(1.4 GHz) = 0.76
+	// CPI(3.5 GHz) = 1.00
+}
+
+// Samples come straight from three performance counters.
+func ExampleFromCounters() {
+	var ev arch.EventVec
+	ev.Set(arch.RetiredInstructions, 2e9)
+	ev.Set(arch.CPUClocksNotHalted, 3e9)
+	ev.Set(arch.MABWaitCycles, 1e9)
+	s, ok := cpimodel.FromCounters(ev, 2.9)
+	fmt.Println(ok, s.CPI, s.MCPI, s.CCPI())
+	// Output:
+	// true 1.5 0.5 1
+}

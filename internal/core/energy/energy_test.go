@@ -1,0 +1,145 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"ppep/internal/arch"
+	"ppep/internal/trace"
+)
+
+func TestPredictNextIntervalJ(t *testing.T) {
+	if got := PredictNextIntervalJ(75, 0.2); math.Abs(got-15) > 1e-12 {
+		t.Errorf("energy = %v", got)
+	}
+}
+
+func TestEDP(t *testing.T) {
+	if EDP(10, 2) != 20 {
+		t.Error("EDP wrong")
+	}
+}
+
+// mkInterval builds an interval with the given chip activity.
+func mkInterval(vf arch.VFState, upc, fpc, measW float64) trace.Interval {
+	var ev arch.EventVec
+	cyc := 3e9
+	ev.Set(arch.CPUClocksNotHalted, cyc)
+	ev.Set(arch.RetiredUOP, upc*cyc)
+	ev.Set(arch.FPUPipeAssignment, fpc*cyc)
+	ev.Set(arch.RetiredInstructions, cyc/1.2)
+	return trace.Interval{
+		DurS:       0.2,
+		Counters:   []arch.EventVec{ev.Scale(0.2)}, // counts for 0.2 s
+		PerCoreVF:  []arch.VFState{vf},
+		Busy:       []bool{true},
+		MeasPowerW: measW,
+		TempK:      320,
+	}
+}
+
+func staticTable() map[arch.VFState]float64 {
+	return map[arch.VFState]float64{
+		arch.VF1: 12, arch.VF2: 16, arch.VF3: 22, arch.VF4: 28, arch.VF5: 35,
+	}
+}
+
+func TestTrainGGRecoversCV2F(t *testing.T) {
+	// Generate data from an exact Ceff model (constant + UPC + FPC
+	// terms; the cache-access features are held constant by mkInterval's
+	// zero entries) and verify the fit reproduces the generating law.
+	static := staticTable()
+	tbl := arch.FX8320VFTable
+	c0, c1, c2 := 1.0, 2.0, 3.0
+	var traces []*trace.Trace
+	for _, vf := range tbl.States() {
+		p := tbl.Point(vf)
+		tr := &trace.Trace{}
+		for i := 0; i < 20; i++ {
+			upc := 0.5 + 0.1*float64(i%4)
+			fpc := 0.07 * float64(i/4%3)
+			ceff := c0 + c1*upc + c2*fpc
+			iv := mkInterval(vf, upc, fpc, static[vf]+ceff*p.Voltage*p.Voltage*p.Freq)
+			tr.Intervals = append(tr.Intervals, iv)
+		}
+		traces = append(traces, tr)
+	}
+	g, err := TrainGG(static, traces, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Estimates reproduce the generating law on held-out activity.
+	iv := mkInterval(arch.VF3, 0.8, 0.2, 0)
+	p := tbl.Point(arch.VF3)
+	want := static[arch.VF3] + (c0+c1*0.8+c2*0.2)*p.Voltage*p.Voltage*p.Freq
+	if got := g.EstimateChipW(iv, tbl); math.Abs(got-want)/want > 1e-3 {
+		t.Errorf("estimate %v, want %v", got, want)
+	}
+}
+
+func TestTrainGGValidation(t *testing.T) {
+	if _, err := TrainGG(staticTable(), nil, arch.FX8320VFTable); err == nil {
+		t.Error("no data accepted")
+	}
+	tr := &trace.Trace{Intervals: []trace.Interval{mkInterval(arch.VF5, 0.5, 0.1, 50)}}
+	missing := map[arch.VFState]float64{arch.VF1: 10}
+	if _, err := TrainGG(missing, []*trace.Trace{tr}, arch.FX8320VFTable); err == nil {
+		t.Error("missing static entry accepted")
+	}
+}
+
+func TestGGIdleCycleFallback(t *testing.T) {
+	g := &GreenGovernors{StaticW: staticTable(), C: [NumGGFeatures]float64{1, 1, 1, 1, 1}}
+	iv := trace.Interval{
+		DurS:      0.2,
+		Counters:  []arch.EventVec{{}},
+		PerCoreVF: []arch.VFState{arch.VF5},
+		Busy:      []bool{false},
+	}
+	got := g.EstimateChipW(iv, arch.FX8320VFTable)
+	// No core retired cycles → no per-core Ceff terms → static only.
+	if math.Abs(got-35) > 1e-9 {
+		t.Errorf("idle estimate %v, want static-only 35", got)
+	}
+}
+
+func TestNextIntervalErrors(t *testing.T) {
+	tr := &trace.Trace{}
+	for i := 0; i < 4; i++ {
+		iv := mkInterval(arch.VF5, 0.5, 0.1, 100)
+		tr.Intervals = append(tr.Intervals, iv)
+	}
+	// Perfect estimator (always 100 W) on constant-power trace → 0 error.
+	errs := NextIntervalErrors(tr, func(trace.Interval) float64 { return 100 })
+	if len(errs) != 3 {
+		t.Fatalf("errs = %d", len(errs))
+	}
+	for _, e := range errs {
+		if e != 0 {
+			t.Errorf("error %v", e)
+		}
+	}
+	// 10% biased estimator → 10% everywhere.
+	errs = NextIntervalErrors(tr, func(trace.Interval) float64 { return 110 })
+	for _, e := range errs {
+		if math.Abs(e-0.1) > 1e-12 {
+			t.Errorf("error %v, want 0.1", e)
+		}
+	}
+	// Phase change: estimator perfect per interval, but power moves.
+	tr.Intervals[2].MeasPowerW = 150
+	errs = NextIntervalErrors(tr, func(iv trace.Interval) float64 { return iv.MeasPowerW })
+	if errs[1] == 0 {
+		t.Error("phase-change error should be non-zero")
+	}
+}
+
+func TestCeffNegativeClamp(t *testing.T) {
+	g := &GreenGovernors{StaticW: staticTable(), C: [NumGGFeatures]float64{}}
+	g.C[0] = -5 // pathological fit
+	iv := mkInterval(arch.VF5, 0, 0, 0)
+	got := g.EstimateChipW(iv, arch.FX8320VFTable)
+	if got != 35 {
+		t.Errorf("estimate %v, want static only", got)
+	}
+}

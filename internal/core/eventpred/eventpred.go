@@ -1,0 +1,89 @@
+// Package eventpred implements the paper's hardware event predictor
+// (Section IV-C): given one core's event rates measured at frequency f,
+// it predicts what every Table I event's rate would be at frequency f',
+// without ever running there. Two empirical observations make this
+// possible:
+//
+//   - Observation 1: core-private event counts per instruction (E1–E8)
+//     are independent of the VF state at a given point of execution.
+//   - Observation 2: CPI − DispatchStalls/instruction is independent of
+//     the VF state at a given point of execution (Equations 4–6).
+//
+// Combined with the LL-MAB CPI predictor, per-instruction rates plus a
+// predicted instruction rate yield full event-rate vectors at any target
+// frequency — the input the dynamic power model needs to predict power
+// across VF states.
+package eventpred
+
+import (
+	"ppep/internal/arch"
+	"ppep/internal/core/cpimodel"
+)
+
+// PredictRates converts one core's event rates (events/second) at fFrom
+// into predicted rates at fTo. ok is false for an idle core (no retired
+// instructions — nothing to predict).
+func PredictRates(ev arch.EventVec, fFrom, fTo float64) (arch.EventVec, bool) {
+	instRate := ev.Get(arch.RetiredInstructions)
+	if instRate <= 0 || fFrom <= 0 || fTo <= 0 {
+		return arch.EventVec{}, false
+	}
+	s := cpimodel.Sample{
+		CPI:     ev.Get(arch.CPUClocksNotHalted) / instRate,
+		MCPI:    ev.Get(arch.MABWaitCycles) / instRate,
+		FreqGHz: fFrom,
+	}
+	cpiTo := s.Predict(fTo)
+	if cpiTo <= 0 {
+		return arch.EventVec{}, false
+	}
+	instRateTo := fTo * 1e9 / cpiTo
+
+	var out arch.EventVec
+	// Observation 1: E1–E8 per instruction carry over unchanged.
+	for i := 0; i < 8; i++ {
+		perInst := ev[i] / instRate
+		out[i] = perInst * instRateTo
+	}
+	// Observation 2: the gap CPI − DS/inst is VF-invariant, so
+	// DS/inst(f') = CPI(f') − gap.
+	dsPerInst := ev.Get(arch.DispatchStalls) / instRate
+	gap := s.CPI - dsPerInst
+	dsTo := cpiTo - gap
+	if dsTo < 0 {
+		dsTo = 0
+	}
+	out.Set(arch.DispatchStalls, dsTo*instRateTo)
+	// Performance events follow from the CPI prediction directly.
+	out.Set(arch.CPUClocksNotHalted, cpiTo*instRateTo)
+	out.Set(arch.RetiredInstructions, instRateTo)
+	out.Set(arch.MABWaitCycles, s.MCPI*(fTo/fFrom)*instRateTo)
+	return out, true
+}
+
+// Gap returns the Observation 2 invariant, CPI − DispatchStalls/inst, for
+// a core's rates, and ok=false for an idle core. Experiments use it to
+// verify the observation on simulator traces.
+func Gap(ev arch.EventVec) (float64, bool) {
+	inst := ev.Get(arch.RetiredInstructions)
+	if inst <= 0 {
+		return 0, false
+	}
+	cpi := ev.Get(arch.CPUClocksNotHalted) / inst
+	ds := ev.Get(arch.DispatchStalls) / inst
+	return cpi - ds, true
+}
+
+// PerInstruction returns the E1–E8 per-instruction rates (the
+// Observation 1 fingerprint), and ok=false for an idle core.
+func PerInstruction(ev arch.EventVec) ([8]float64, bool) {
+	var out [8]float64
+	inst := ev.Get(arch.RetiredInstructions)
+	if inst <= 0 {
+		return out, false
+	}
+	for i := range out {
+		out[i] = ev[i] / inst
+	}
+	return out, true
+}

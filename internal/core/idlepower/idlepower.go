@@ -1,0 +1,117 @@
+// Package idlepower implements the paper's temperature-aware chip idle
+// power model (Section IV-A, Equation 2):
+//
+//	P_idle(V, T) = W_idle1(V)·T + W_idle0(V)
+//
+// where W_idle1 and W_idle0 are third-order polynomials of voltage. The
+// model is trained from heat/cool transients: run heavy load until the
+// package reaches steady temperature, stop the work, and record (power,
+// temperature) pairs at the VF state under study while it cools
+// (Figure 1). A linear fit per VF state gives one (W1, W0) pair; cubic
+// fits across the VF table's voltages generalize them to any voltage.
+package idlepower
+
+import (
+	"fmt"
+
+	"ppep/internal/arch"
+	"ppep/internal/stats"
+	"ppep/internal/trace"
+)
+
+// Model is a trained idle power model.
+type Model struct {
+	// W1 and W0 are the Equation 2 coefficient polynomials in voltage.
+	W1, W0 stats.Poly
+}
+
+// Estimate returns the chip idle power at core voltage vV and package
+// temperature tK.
+func (m *Model) Estimate(vV, tK float64) float64 {
+	return m.W1.Eval(vV)*tK + m.W0.Eval(vV)
+}
+
+// VFObservations is the cooling-trace data for one VF state.
+type VFObservations struct {
+	Voltage float64
+	TempK   []float64
+	PowerW  []float64
+}
+
+// Train fits the model from per-VF cooling observations. At least two VF
+// states are required for the voltage polynomials; with fewer than four,
+// the polynomial degree is reduced to keep the fit determined.
+func Train(obs []VFObservations) (*Model, error) {
+	if len(obs) < 2 {
+		return nil, fmt.Errorf("idlepower: need ≥2 VF states, have %d", len(obs))
+	}
+	var volts, w1s, w0s []float64
+	for _, o := range obs {
+		if len(o.TempK) != len(o.PowerW) {
+			return nil, fmt.Errorf("idlepower: ragged observations at %.3f V", o.Voltage)
+		}
+		if len(o.TempK) < 2 {
+			return nil, fmt.Errorf("idlepower: need ≥2 samples at %.3f V, have %d", o.Voltage, len(o.TempK))
+		}
+		feats := make([][]float64, len(o.TempK))
+		for i, tk := range o.TempK {
+			feats[i] = []float64{tk}
+		}
+		lin, err := stats.OLSIntercept(feats, o.PowerW)
+		if err != nil {
+			return nil, fmt.Errorf("idlepower: linear fit at %.3f V: %w", o.Voltage, err)
+		}
+		volts = append(volts, o.Voltage)
+		w1s = append(w1s, lin.Weights[0])
+		w0s = append(w0s, lin.Intercept)
+	}
+	deg := 3
+	if len(volts) <= deg {
+		deg = len(volts) - 1
+	}
+	w1p, err := stats.FitPoly(volts, w1s, deg)
+	if err != nil {
+		return nil, fmt.Errorf("idlepower: W1 polynomial: %w", err)
+	}
+	w0p, err := stats.FitPoly(volts, w0s, deg)
+	if err != nil {
+		return nil, fmt.Errorf("idlepower: W0 polynomial: %w", err)
+	}
+	return &Model{W1: w1p, W0: w0p}, nil
+}
+
+// ObservationsFromTrace converts a cooling trace (chip idle at one VF
+// state) into training observations.
+func ObservationsFromTrace(t *trace.Trace, tbl arch.VFTable) VFObservations {
+	var o VFObservations
+	for _, iv := range t.Intervals {
+		o.TempK = append(o.TempK, iv.TempK)
+		o.PowerW = append(o.PowerW, iv.MeasPowerW)
+		o.Voltage = tbl.Point(iv.VF()).Voltage
+	}
+	return o
+}
+
+// TrainFromTraces trains from one cooling trace per VF state.
+func TrainFromTraces(traces map[arch.VFState]*trace.Trace, tbl arch.VFTable) (*Model, error) {
+	var obs []VFObservations
+	for _, vf := range tbl.States() {
+		t, ok := traces[vf]
+		if !ok {
+			continue
+		}
+		obs = append(obs, ObservationsFromTrace(t, tbl))
+	}
+	return Train(obs)
+}
+
+// Validate computes the per-sample absolute relative errors of the model
+// against a cooling trace.
+func (m *Model) Validate(t *trace.Trace, tbl arch.VFTable) stats.ErrorSummary {
+	var errs []float64
+	for _, iv := range t.Intervals {
+		v := tbl.Point(iv.VF()).Voltage
+		errs = append(errs, stats.AbsPctErr(m.Estimate(v, iv.TempK), iv.MeasPowerW))
+	}
+	return stats.SummarizeAbsErrors(errs)
+}

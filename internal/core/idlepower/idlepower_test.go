@@ -1,0 +1,171 @@
+package idlepower
+
+import (
+	"math"
+	"testing"
+
+	"ppep/internal/arch"
+	"ppep/internal/fxsim"
+	"ppep/internal/stats"
+	"ppep/internal/trace"
+)
+
+// syntheticObs builds observations from a known linear law
+// P = w1(V)·T + w0(V).
+func syntheticObs(w1, w0 func(v float64) float64) []VFObservations {
+	var obs []VFObservations
+	for _, p := range arch.FX8320VFTable {
+		o := VFObservations{Voltage: p.Voltage}
+		for tk := 300.0; tk <= 340; tk += 2 {
+			o.TempK = append(o.TempK, tk)
+			o.PowerW = append(o.PowerW, w1(p.Voltage)*tk+w0(p.Voltage))
+		}
+		obs = append(obs, o)
+	}
+	return obs
+}
+
+func TestTrainRecoversLinearLaw(t *testing.T) {
+	w1 := func(v float64) float64 { return 0.05 + 0.1*v + 0.02*v*v }
+	w0 := func(v float64) float64 { return -10 + 18*v - 2*v*v*v }
+	m, err := Train(syntheticObs(w1, w0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range arch.FX8320VFTable {
+		for tk := 302.0; tk <= 338; tk += 7 {
+			want := w1(p.Voltage)*tk + w0(p.Voltage)
+			got := m.Estimate(p.Voltage, tk)
+			if math.Abs(got-want)/want > 1e-4 {
+				t.Errorf("V=%.3f T=%.0f: %v vs %v", p.Voltage, tk, got, want)
+			}
+		}
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil); err == nil {
+		t.Error("no observations accepted")
+	}
+	if _, err := Train([]VFObservations{{Voltage: 1}}); err == nil {
+		t.Error("single VF accepted")
+	}
+	bad := []VFObservations{
+		{Voltage: 1.0, TempK: []float64{300}, PowerW: []float64{20, 21}},
+		{Voltage: 1.1, TempK: []float64{300, 310}, PowerW: []float64{20, 21}},
+	}
+	if _, err := Train(bad); err == nil {
+		t.Error("ragged observations accepted")
+	}
+	short := []VFObservations{
+		{Voltage: 1.0, TempK: []float64{300}, PowerW: []float64{20}},
+		{Voltage: 1.1, TempK: []float64{300, 310}, PowerW: []float64{20, 21}},
+	}
+	if _, err := Train(short); err == nil {
+		t.Error("single-sample VF accepted")
+	}
+}
+
+func TestTrainTwoStatesReducesDegree(t *testing.T) {
+	obs := []VFObservations{
+		{Voltage: 1.0, TempK: []float64{300, 320, 340}, PowerW: []float64{10, 11, 12}},
+		{Voltage: 1.3, TempK: []float64{300, 320, 340}, PowerW: []float64{25, 27, 29}},
+	}
+	m, err := Train(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.W1.Degree() > 1 || m.W0.Degree() > 1 {
+		t.Errorf("degrees %d/%d with two voltage points", m.W1.Degree(), m.W0.Degree())
+	}
+	// Interpolates the training points.
+	if got := m.Estimate(1.0, 320); math.Abs(got-11) > 1e-6 {
+		t.Errorf("estimate %v, want 11", got)
+	}
+}
+
+// coolingTraces runs the simulator's heat/cool experiment for every VF
+// state, as the paper's training procedure does.
+func coolingTraces(t *testing.T) map[arch.VFState]*trace.Trace {
+	t.Helper()
+	out := map[arch.VFState]*trace.Trace{}
+	for _, vf := range arch.FX8320VFTable.States() {
+		cfg := fxsim.DefaultFX8320Config()
+		chip := fxsim.New(cfg)
+		tr, err := chip.HeatCool(vf, 40, 80)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[vf] = tr
+	}
+	return out
+}
+
+func TestTrainOnSimulatorMatchesPaperAccuracy(t *testing.T) {
+	// Section IV-A: idle model AAE per VF state is 2–4% on the FX-8320.
+	// Demand <6% here (the truth is exponential in T and V, the sensor
+	// is noisy, and the model is a linear/cubic approximation).
+	traces := coolingTraces(t)
+	m, err := TrainFromTraces(traces, arch.FX8320VFTable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for vf, tr := range traces {
+		s := m.Validate(tr, arch.FX8320VFTable)
+		if s.Mean > 0.06 {
+			t.Errorf("%v: idle model AAE %.1f%%, want <6%%", vf, 100*s.Mean)
+		}
+	}
+}
+
+func TestModelMonotoneInTemperature(t *testing.T) {
+	traces := coolingTraces(t)
+	m, err := TrainFromTraces(traces, arch.FX8320VFTable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Leakage grows with temperature; W1 must be positive in the
+	// operating range.
+	for _, p := range arch.FX8320VFTable {
+		if m.W1.Eval(p.Voltage) <= 0 {
+			t.Errorf("W1(%.3f V) = %v, want positive", p.Voltage, m.W1.Eval(p.Voltage))
+		}
+	}
+	// And idle power must rise with voltage at fixed temperature.
+	prev := 0.0
+	for _, p := range arch.FX8320VFTable {
+		cur := m.Estimate(p.Voltage, 320)
+		if cur <= prev {
+			t.Errorf("idle power not increasing at %.3f V: %v <= %v", p.Voltage, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestObservationsFromTrace(t *testing.T) {
+	tr := &trace.Trace{Intervals: []trace.Interval{
+		{DurS: 0.2, TempK: 320, MeasPowerW: 30,
+			PerCoreVF: []arch.VFState{arch.VF3}, Busy: []bool{false},
+			Counters: []arch.EventVec{{}}},
+	}}
+	o := ObservationsFromTrace(tr, arch.FX8320VFTable)
+	if len(o.TempK) != 1 || o.TempK[0] != 320 || o.PowerW[0] != 30 {
+		t.Errorf("observations %+v", o)
+	}
+	if o.Voltage != 1.128 {
+		t.Errorf("voltage %v, want VF3's 1.128", o.Voltage)
+	}
+}
+
+func TestValidateSummary(t *testing.T) {
+	m := &Model{W1: stats.Poly{0}, W0: stats.Poly{50}} // constant 50 W
+	tr := &trace.Trace{Intervals: []trace.Interval{
+		{DurS: 0.2, TempK: 320, MeasPowerW: 100,
+			PerCoreVF: []arch.VFState{arch.VF5}, Busy: []bool{false},
+			Counters: []arch.EventVec{{}}},
+	}}
+	s := m.Validate(tr, arch.FX8320VFTable)
+	if math.Abs(s.Mean-0.5) > 1e-12 {
+		t.Errorf("error %v, want 0.5", s.Mean)
+	}
+}

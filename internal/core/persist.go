@@ -1,0 +1,126 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"ppep/internal/arch"
+	"ppep/internal/core/dynpower"
+	"ppep/internal/core/idlepower"
+	"ppep/internal/core/pgidle"
+	"ppep/internal/stats"
+)
+
+// modelsJSON is the serialized form of a trained model set. Training is a
+// one-time offline effort (Section IV-B1); persisting the coefficients
+// lets deployments ship them the way firmware would.
+type modelsJSON struct {
+	Version  int          `json:"version"`
+	Platform platformJSON `json:"platform"`
+	Idle     idleJSON     `json:"idle"`
+	Dyn      dynJSON      `json:"dynamic"`
+	PG       []pgJSON     `json:"power_gating,omitempty"`
+	PGOn     bool         `json:"pg_enabled"`
+	Thermal  *thermalJSON `json:"thermal,omitempty"`
+}
+
+type thermalJSON struct {
+	AmbientK float64 `json:"ambient_k"`
+	RthKPerW float64 `json:"rth_k_per_w"`
+}
+
+type platformJSON struct {
+	Voltages []float64 `json:"voltages"`
+	Freqs    []float64 `json:"freqs_ghz"`
+}
+
+type idleJSON struct {
+	W1 []float64 `json:"w1"`
+	W0 []float64 `json:"w0"`
+}
+
+type dynJSON struct {
+	W     []float64 `json:"weights"`
+	Alpha float64   `json:"alpha"`
+	VRef  float64   `json:"vref"`
+}
+
+type pgJSON struct {
+	State int     `json:"state"`
+	CU    float64 `json:"pidle_cu"`
+	NB    float64 `json:"pidle_nb"`
+	Base  float64 `json:"pidle_base"`
+}
+
+const modelsVersion = 1
+
+// Save serializes the trained models as JSON.
+func (m *Models) Save(w io.Writer) error {
+	if m.Idle == nil || m.Dyn == nil {
+		return fmt.Errorf("core: cannot save untrained models")
+	}
+	out := modelsJSON{
+		Version: modelsVersion,
+		Idle:    idleJSON{W1: m.Idle.W1, W0: m.Idle.W0},
+		Dyn:     dynJSON{W: m.Dyn.W[:], Alpha: m.Dyn.Alpha, VRef: m.Dyn.VRef},
+		PGOn:    m.PGEnabled,
+	}
+	if m.Thermal != nil {
+		out.Thermal = &thermalJSON{AmbientK: m.Thermal.AmbientK, RthKPerW: m.Thermal.RthKPerW}
+	}
+	for _, p := range m.Table {
+		out.Platform.Voltages = append(out.Platform.Voltages, p.Voltage)
+		out.Platform.Freqs = append(out.Platform.Freqs, p.Freq)
+	}
+	for _, s := range m.Table.States() {
+		if d, ok := m.PG[s]; ok {
+			out.PG = append(out.PG, pgJSON{State: int(s), CU: d.PidleCU, NB: d.PidleNB, Base: d.PidleBase})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// LoadModels deserializes a model set saved with Save.
+func LoadModels(r io.Reader) (*Models, error) {
+	var in modelsJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("core: decode models: %w", err)
+	}
+	if in.Version != modelsVersion {
+		return nil, fmt.Errorf("core: unsupported models version %d", in.Version)
+	}
+	if len(in.Platform.Voltages) == 0 || len(in.Platform.Voltages) != len(in.Platform.Freqs) {
+		return nil, fmt.Errorf("core: malformed platform table")
+	}
+	if len(in.Dyn.W) != arch.NumPowerEvents {
+		return nil, fmt.Errorf("core: dynamic model has %d weights, want %d", len(in.Dyn.W), arch.NumPowerEvents)
+	}
+	m := &Models{
+		Idle:      &idlepower.Model{W1: stats.Poly(in.Idle.W1), W0: stats.Poly(in.Idle.W0)},
+		Dyn:       &dynpower.Model{Alpha: in.Dyn.Alpha, VRef: in.Dyn.VRef},
+		PGEnabled: in.PGOn,
+	}
+	if in.Thermal != nil {
+		m.Thermal = &ThermalFeedback{AmbientK: in.Thermal.AmbientK, RthKPerW: in.Thermal.RthKPerW}
+	}
+	copy(m.Dyn.W[:], in.Dyn.W)
+	for i := range in.Platform.Voltages {
+		m.Table = append(m.Table, arch.VFPoint{
+			Voltage: in.Platform.Voltages[i], Freq: in.Platform.Freqs[i],
+		})
+	}
+	if len(in.PG) > 0 {
+		m.PG = map[arch.VFState]pgidle.Decomposition{}
+		for _, p := range in.PG {
+			s := arch.VFState(p.State)
+			if !m.Table.Contains(s) {
+				return nil, fmt.Errorf("core: PG entry for unknown state %d", p.State)
+			}
+			m.PG[s] = pgidle.Decomposition{PidleCU: p.CU, PidleNB: p.NB, PidleBase: p.Base}
+		}
+	}
+	return m, nil
+}

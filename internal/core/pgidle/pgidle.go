@@ -1,0 +1,94 @@
+// Package pgidle implements the paper's power-gating-aware idle power
+// decomposition and per-core idle attribution (Section IV-D).
+//
+// The Figure 4 experiment fixes the VF state and sweeps the number of
+// busy compute units from 0 to N running the steady bench_A
+// microbenchmark, with power gating disabled and enabled. The pairwise
+// gaps isolate the components:
+//
+//	gap(k busy CUs)  = (N−k)·P_idle(CU)          for k ≥ 1
+//	gap(idle)        = N·P_idle(CU) + P_idle(NB)
+//	P_idle(Base)     = gated-idle power (always-on remainder)
+//
+// Per-core idle attribution then follows Equations 7 (PG enabled) and 8
+// (PG disabled).
+package pgidle
+
+import (
+	"fmt"
+)
+
+// Decomposition is the extracted idle power structure at one VF state.
+type Decomposition struct {
+	PidleCU   float64 // one compute unit's idle power
+	PidleNB   float64 // the north bridge's idle power
+	PidleBase float64 // un-gateable base power
+}
+
+// Sweep is the Figure 4 measurement at one VF state: measured chip power
+// with k busy CUs (index k, 0..N) for both PG settings.
+type Sweep struct {
+	PGOff []float64 // len N+1
+	PGOn  []float64 // len N+1
+}
+
+// Decompose extracts the idle power components from a sweep.
+func Decompose(s Sweep) (Decomposition, error) {
+	n := len(s.PGOff) - 1
+	if n < 1 || len(s.PGOn) != len(s.PGOff) {
+		return Decomposition{}, fmt.Errorf("pgidle: sweep needs matching PGOff/PGOn arrays over 0..N busy CUs")
+	}
+	var d Decomposition
+	// Average the per-CU estimate over the k = 1..N−1 cases (the k=N
+	// case has zero gap by construction and carries no information).
+	var sum float64
+	var cnt int
+	for k := 1; k < n; k++ {
+		gap := s.PGOff[k] - s.PGOn[k]
+		idleCUs := float64(n - k)
+		if idleCUs > 0 {
+			sum += gap / idleCUs
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return Decomposition{}, fmt.Errorf("pgidle: sweep too small to isolate P_idle(CU)")
+	}
+	d.PidleCU = sum / float64(cnt)
+	idleGap := s.PGOff[0] - s.PGOn[0]
+	d.PidleNB = idleGap - float64(n)*d.PidleCU
+	if d.PidleNB < 0 {
+		d.PidleNB = 0
+	}
+	d.PidleBase = s.PGOn[0]
+	return d, nil
+}
+
+// PerCoreIdleW returns the idle power attributed to one busy core
+// (Equations 7 and 8). numCUs is the chip's CU count, busyInCU the busy
+// cores sharing the core's CU (m), busyInChip the busy cores chip-wide
+// (n). Zero busy cores attribute nothing.
+func (d Decomposition) PerCoreIdleW(pgEnabled bool, numCUs, busyInCU, busyInChip int) float64 {
+	if busyInChip <= 0 || busyInCU <= 0 {
+		return 0
+	}
+	if pgEnabled {
+		// Equation 7: busy cores in a CU share that CU's idle power; all
+		// busy cores share NB + base.
+		return d.PidleCU/float64(busyInCU) + (d.PidleNB+d.PidleBase)/float64(busyInChip)
+	}
+	// Equation 8: nothing is gated; all busy cores share everything.
+	return (float64(numCUs)*d.PidleCU + d.PidleNB + d.PidleBase) / float64(busyInChip)
+}
+
+// ChipIdleW returns the chip-level idle power implied by the
+// decomposition for a given number of busy CUs.
+func (d Decomposition) ChipIdleW(pgEnabled bool, numCUs, busyCUs int) float64 {
+	if !pgEnabled {
+		return float64(numCUs)*d.PidleCU + d.PidleNB + d.PidleBase
+	}
+	if busyCUs <= 0 {
+		return d.PidleBase
+	}
+	return float64(busyCUs)*d.PidleCU + d.PidleNB + d.PidleBase
+}

@@ -1,0 +1,139 @@
+package pgidle
+
+import (
+	"math"
+	"testing"
+)
+
+// synthSweep constructs a Figure 4 sweep from known components: each busy
+// CU adds dynW of dynamic power; idle CUs are gated when PG is on.
+func synthSweep(n int, pidleCU, pidleNB, pidleBase, dynW float64) Sweep {
+	var s Sweep
+	for k := 0; k <= n; k++ {
+		off := float64(n)*pidleCU + pidleNB + pidleBase + float64(k)*dynW
+		var on float64
+		if k == 0 {
+			on = pidleBase
+		} else {
+			on = float64(k)*pidleCU + pidleNB + pidleBase + float64(k)*dynW
+		}
+		s.PGOff = append(s.PGOff, off)
+		s.PGOn = append(s.PGOn, on)
+	}
+	return s
+}
+
+func TestDecomposeExact(t *testing.T) {
+	s := synthSweep(4, 4.2, 6.0, 3.0, 9.5)
+	d, err := Decompose(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.PidleCU-4.2) > 1e-9 {
+		t.Errorf("PidleCU = %v", d.PidleCU)
+	}
+	if math.Abs(d.PidleNB-6.0) > 1e-9 {
+		t.Errorf("PidleNB = %v", d.PidleNB)
+	}
+	if math.Abs(d.PidleBase-3.0) > 1e-9 {
+		t.Errorf("PidleBase = %v", d.PidleBase)
+	}
+}
+
+func TestDecomposeValidation(t *testing.T) {
+	if _, err := Decompose(Sweep{PGOff: []float64{1}, PGOn: []float64{1}}); err == nil {
+		t.Error("degenerate sweep accepted")
+	}
+	if _, err := Decompose(Sweep{PGOff: []float64{1, 2, 3}, PGOn: []float64{1, 2}}); err == nil {
+		t.Error("mismatched arrays accepted")
+	}
+	// Two entries (N=1) has no informative middle case.
+	if _, err := Decompose(Sweep{PGOff: []float64{5, 9}, PGOn: []float64{2, 9}}); err == nil {
+		t.Error("N=1 sweep accepted")
+	}
+}
+
+func TestDecomposeClampsNegativeNB(t *testing.T) {
+	// Measurement noise can push the NB estimate negative; it must clamp.
+	s := synthSweep(4, 4.0, 0.0, 3.0, 9.0)
+	s.PGOff[0] -= 2 // noise
+	d, err := Decompose(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.PidleNB < 0 {
+		t.Errorf("PidleNB = %v", d.PidleNB)
+	}
+}
+
+func TestPerCoreIdleEquation7(t *testing.T) {
+	d := Decomposition{PidleCU: 4, PidleNB: 6, PidleBase: 2}
+	// PG on, 2 busy cores in the CU, 4 busy chip-wide:
+	// 4/2 + (6+2)/4 = 2 + 2 = 4.
+	got := d.PerCoreIdleW(true, 4, 2, 4)
+	if math.Abs(got-4) > 1e-12 {
+		t.Errorf("Eq7 = %v, want 4", got)
+	}
+}
+
+func TestPerCoreIdleEquation8(t *testing.T) {
+	d := Decomposition{PidleCU: 4, PidleNB: 6, PidleBase: 2}
+	// PG off, 4 CUs, 4 busy cores: (4·4+6+2)/4 = 6.
+	got := d.PerCoreIdleW(false, 4, 1, 4)
+	if math.Abs(got-6) > 1e-12 {
+		t.Errorf("Eq8 = %v, want 6", got)
+	}
+}
+
+func TestPerCoreIdleNoBusyCores(t *testing.T) {
+	d := Decomposition{PidleCU: 4, PidleNB: 6, PidleBase: 2}
+	if d.PerCoreIdleW(true, 4, 0, 0) != 0 {
+		t.Error("no busy cores must attribute nothing")
+	}
+}
+
+func TestPerCoreSumsToChipIdle(t *testing.T) {
+	// Attribution is conservative: summing per-core shares over all busy
+	// cores recovers the chip idle power.
+	d := Decomposition{PidleCU: 4.2, PidleNB: 6.0, PidleBase: 3.0}
+	const numCUs = 4
+	// 3 busy CUs with 2, 1, 1 busy cores respectively → n = 4.
+	busyPerCU := []int{2, 1, 1, 0}
+	n := 0
+	busyCUs := 0
+	for _, m := range busyPerCU {
+		n += m
+		if m > 0 {
+			busyCUs++
+		}
+	}
+	for _, pg := range []bool{true, false} {
+		var sum float64
+		for _, m := range busyPerCU {
+			for c := 0; c < m; c++ {
+				sum += d.PerCoreIdleW(pg, numCUs, m, n)
+			}
+		}
+		want := d.ChipIdleW(pg, numCUs, busyCUs)
+		if math.Abs(sum-want) > 1e-9 {
+			t.Errorf("pg=%v: per-core sum %v, chip idle %v", pg, sum, want)
+		}
+	}
+}
+
+func TestChipIdle(t *testing.T) {
+	d := Decomposition{PidleCU: 4, PidleNB: 6, PidleBase: 2}
+	if got := d.ChipIdleW(true, 4, 0); got != 2 {
+		t.Errorf("fully gated = %v, want base only", got)
+	}
+	if got := d.ChipIdleW(true, 4, 2); got != 2*4+6+2 {
+		t.Errorf("2 busy CUs = %v", got)
+	}
+	if got := d.ChipIdleW(false, 4, 0); got != 4*4+6+2 {
+		t.Errorf("PG off = %v", got)
+	}
+	// PG off ignores busyCUs.
+	if d.ChipIdleW(false, 4, 3) != d.ChipIdleW(false, 4, 0) {
+		t.Error("PG-off idle must not depend on busy CUs")
+	}
+}

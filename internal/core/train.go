@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+
+	"ppep/internal/arch"
+	"ppep/internal/core/dynpower"
+	"ppep/internal/core/idlepower"
+	"ppep/internal/core/pgidle"
+	"ppep/internal/stats"
+	"ppep/internal/trace"
+)
+
+// RunTrace is one benchmark combination's measurement trace at one VF
+// state.
+type RunTrace struct {
+	Name  string
+	Suite string
+	VF    arch.VFState
+	Trace *trace.Trace
+}
+
+// TrainingSet is the full measurement campaign the paper performs: idle
+// heat/cool transients per VF state, benchmark traces at every VF state,
+// and (optionally) the power-gating CU sweeps of Figure 4.
+type TrainingSet struct {
+	IdleTraces map[arch.VFState]*trace.Trace
+	Runs       []RunTrace
+	// PGSweeps maps each VF state to its Figure 4 busy-CU sweep.
+	PGSweeps  map[arch.VFState]pgidle.Sweep
+	PGEnabled bool
+}
+
+// Train builds the complete PPEP model set from a training campaign.
+// The dynamic model's weights come from the reference (top) VF state only;
+// α is calibrated on the remaining states — the paper's one-time offline
+// effort (Section IV-B1).
+func Train(ts TrainingSet, tbl arch.VFTable) (*Models, error) {
+	idle, err := idlepower.TrainFromTraces(ts.IdleTraces, tbl)
+	if err != nil {
+		return nil, fmt.Errorf("core: idle model: %w", err)
+	}
+	samples := DynSamples(ts.Runs, idle, tbl)
+	vRef := tbl.Point(tbl.Top()).Voltage
+	dyn, err := dynpower.Train(samples, vRef)
+	if err != nil {
+		return nil, fmt.Errorf("core: dynamic model: %w", err)
+	}
+	m := &Models{Table: tbl, Idle: idle, Dyn: dyn, PGEnabled: ts.PGEnabled}
+	m.Thermal = FitThermal(ts.Runs)
+	if len(ts.PGSweeps) > 0 {
+		m.PG = make(map[arch.VFState]pgidle.Decomposition, len(ts.PGSweeps))
+		for vf, sweep := range ts.PGSweeps {
+			d, err := pgidle.Decompose(sweep)
+			if err != nil {
+				return nil, fmt.Errorf("core: PG decomposition at %v: %w", vf, err)
+			}
+			m.PG[vf] = d
+		}
+	}
+	return m, nil
+}
+
+// FitThermal fits the steady-state thermal line T ≈ Ambient + Rth·P from
+// the campaign's run intervals (long runs sit near thermal equilibrium).
+// Returns nil when the fit is degenerate.
+func FitThermal(runs []RunTrace) *ThermalFeedback {
+	var feats [][]float64
+	var temps []float64
+	for _, rt := range runs {
+		ivs := SteadyIntervals(rt.Trace)
+		// Skip the warm-up front half: early intervals are far from
+		// equilibrium and would flatten the slope.
+		for i := len(ivs) / 2; i < len(ivs); i++ {
+			feats = append(feats, []float64{ivs[i].MeasPowerW})
+			temps = append(temps, ivs[i].TempK)
+		}
+	}
+	if len(feats) < 10 {
+		return nil
+	}
+	lin, err := stats.OLSIntercept(feats, temps)
+	if err != nil || lin.Weights[0] <= 0 {
+		return nil
+	}
+	return &ThermalFeedback{AmbientK: lin.Intercept, RthKPerW: lin.Weights[0]}
+}
+
+// DynSamples converts run traces into dynamic power training samples:
+// chip-summed E1–E9 rates, the rail voltage, and measured-minus-idle
+// power. Exposed so cross-validation can re-fit on fold subsets.
+func DynSamples(runs []RunTrace, idle *idlepower.Model, tbl arch.VFTable) []dynpower.Sample {
+	var out []dynpower.Sample
+	for _, rt := range runs {
+		for _, iv := range SteadyIntervals(rt.Trace) {
+			out = append(out, DynSample(iv, idle, tbl))
+		}
+	}
+	return out
+}
+
+// SteadyIntervals returns a trace's intervals without the trailing one.
+// A run's final interval is a measurement artifact: threads finish mid
+// multiplexing window, so extrapolated counts describe a sliver of
+// activity while the power sensor already sees a mostly idle chip.
+func SteadyIntervals(tr *trace.Trace) []trace.Interval {
+	n := len(tr.Intervals)
+	if n <= 1 {
+		return tr.Intervals
+	}
+	return tr.Intervals[:n-1]
+}
+
+// DynSample converts one interval into a dynamic power training sample.
+func DynSample(iv trace.Interval, idle *idlepower.Model, tbl arch.VFTable) dynpower.Sample {
+	v := tbl.Point(iv.VF()).Voltage
+	rates := iv.TotalRates()
+	dynW := iv.MeasPowerW - idle.Estimate(v, iv.TempK)
+	if dynW < 0 {
+		dynW = 0
+	}
+	return dynpower.Sample{Rates: rates.PowerEvents(), Voltage: v, DynW: dynW}
+}

@@ -1,0 +1,96 @@
+package daemon
+
+import (
+	"fmt"
+
+	"ppep/internal/arch"
+	"ppep/internal/core"
+	"ppep/internal/fxsim"
+	"ppep/internal/hwmon"
+	"ppep/internal/msr"
+	"ppep/internal/trace"
+)
+
+// Policy decides VF states from a PPEP report. Implementations receive
+// the chip so per-CU policies can address individual compute units.
+type Policy interface {
+	Apply(chip *fxsim.Chip, iv trace.Interval, rep *core.Report)
+}
+
+// PolicyFunc adapts a function to Policy.
+type PolicyFunc func(*fxsim.Chip, trace.Interval, *core.Report)
+
+// Apply implements Policy.
+func (f PolicyFunc) Apply(c *fxsim.Chip, iv trace.Interval, r *core.Report) { f(c, iv, r) }
+
+// Daemon is the assembled PPEP daemon: device-level sampling plus the
+// trained models plus an optional policy.
+type Daemon struct {
+	Models *core.Models
+	Policy Policy
+	// Reports holds one analysis per completed interval.
+	Reports []*core.Report
+	// Intervals holds the device-sampled measurement intervals.
+	Intervals []trace.Interval
+
+	chip    *fxsim.Chip
+	sampler *Sampler
+	diode   *hwmon.Sensor
+}
+
+// Attach wires the daemon onto a simulated chip through the MSR and
+// hwmon device paths.
+func Attach(chip *fxsim.Chip, models *core.Models, policy Policy) (*Daemon, error) {
+	dev := msr.Open(chip)
+	sampler, err := NewSampler(dev, chip.Topology().NumCores(), chip.VFTable())
+	if err != nil {
+		return nil, err
+	}
+	return &Daemon{
+		Models:  models,
+		Policy:  policy,
+		chip:    chip,
+		sampler: sampler,
+		diode:   hwmon.Open(chip),
+	}, nil
+}
+
+// RunIntervals drives the chip for n decision intervals: ticking the
+// hardware, rotating counter groups every 20 ms, and analyzing at every
+// 200 ms boundary. The chip's workload must already be bound.
+func (d *Daemon) RunIntervals(n int) error {
+	if d.Models == nil {
+		return fmt.Errorf("daemon: no models attached")
+	}
+	windows := arch.DecisionIntervalMS / arch.PowerSamplePeriodMS
+	for i := 0; i < n; i++ {
+		for w := 0; w < windows; w++ {
+			for t := 0; t < arch.PowerSamplePeriodMS; t++ {
+				d.chip.Tick()
+			}
+			if err := d.sampler.OnWindow(arch.PowerSamplePeriodMS); err != nil {
+				return err
+			}
+		}
+		iv, err := d.sampler.EndInterval(d.chip.TimeS(), arch.DecisionIntervalMS, d.diode.TempK())
+		if err != nil {
+			return err
+		}
+		// Consume the chip's internal interval bookkeeping so oracle
+		// power is available to callers for validation.
+		oracle := d.chip.ReadInterval()
+		iv.TruePowerW = oracle.TruePowerW
+		iv.MeasPowerW = oracle.MeasPowerW
+
+		rep, err := d.Models.Analyze(iv)
+		if err != nil {
+			return err
+		}
+		d.Intervals = append(d.Intervals, iv)
+		d.Reports = append(d.Reports, rep)
+		if d.Policy != nil {
+			d.Policy.Apply(d.chip, iv, rep)
+		}
+	}
+	return nil
+}

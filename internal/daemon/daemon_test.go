@@ -1,0 +1,226 @@
+package daemon
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"ppep/internal/arch"
+	"ppep/internal/core"
+	"ppep/internal/dvfs"
+	"ppep/internal/fxsim"
+	"ppep/internal/stats"
+	"ppep/internal/trace"
+	"ppep/internal/workload"
+)
+
+var (
+	trainOnce sync.Once
+	trained   *core.Models
+	trainErr  error
+)
+
+func models(t *testing.T) *core.Models {
+	t.Helper()
+	trainOnce.Do(func() {
+		ts := core.TrainingSet{IdleTraces: map[arch.VFState]*trace.Trace{}}
+		for _, vf := range arch.FX8320VFTable.States() {
+			chip := fxsim.New(fxsim.DefaultFX8320Config())
+			tr, err := chip.HeatCool(vf, 40, 80)
+			if err != nil {
+				trainErr = err
+				return
+			}
+			ts.IdleTraces[vf] = tr
+		}
+		for _, num := range []string{"429", "458", "433", "416"} {
+			b := *workload.SPECByNumber(num)
+			b.Instructions = 8e9
+			for _, vf := range arch.FX8320VFTable.States() {
+				chip := fxsim.New(fxsim.DefaultFX8320Config())
+				r := workload.Run{Name: num, Suite: "SPE",
+					Members: []workload.Member{{Bench: &b, Threads: 1}}}
+				tr, err := chip.Collect(r, fxsim.RunOpts{VF: vf, WarmTempK: 315})
+				if err != nil {
+					trainErr = err
+					return
+				}
+				ts.Runs = append(ts.Runs, core.RunTrace{Name: num, Suite: "SPE", VF: vf, Trace: tr})
+			}
+		}
+		trained, trainErr = core.Train(ts, arch.FX8320VFTable)
+	})
+	if trainErr != nil {
+		t.Fatal(trainErr)
+	}
+	return trained
+}
+
+// attach builds a chip running milc×2 with the daemon on it.
+func attach(t *testing.T, policy Policy) (*Daemon, *fxsim.Chip) {
+	t.Helper()
+	cfg := fxsim.DefaultFX8320Config()
+	cfg.PerCUPlanes = policy != nil
+	chip := fxsim.New(cfg)
+	chip.SetTempK(318)
+	run := workload.MultiInstance("433", 2)
+	for i := range run.Members {
+		b := *run.Members[i].Bench
+		b.Instructions = 1e12 // effectively endless
+		run.Members[i].Bench = &b
+	}
+	if _, err := chip.PlaceRun(run, fxsim.PlaceScatter, true); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Attach(chip, models(t), policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, chip
+}
+
+func TestDaemonSamplesThroughDevices(t *testing.T) {
+	d, _ := attach(t, nil)
+	if err := d.RunIntervals(10); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Intervals) != 10 || len(d.Reports) != 10 {
+		t.Fatalf("intervals %d reports %d", len(d.Intervals), len(d.Reports))
+	}
+	for _, iv := range d.Intervals {
+		// Cores 0 and 2 run the instances; the rest are idle.
+		if !iv.Busy[0] || !iv.Busy[2] {
+			t.Error("bound cores not seen busy through the MSR path")
+		}
+		if iv.Busy[1] || iv.Busy[7] {
+			t.Error("idle cores seen busy")
+		}
+		if iv.VF() != arch.VF5 {
+			t.Errorf("VF read %v through P-state MSR", iv.VF())
+		}
+		if iv.TempK < 300 || iv.TempK > 360 {
+			t.Errorf("diode temp %v", iv.TempK)
+		}
+		// All twelve events present on a busy core.
+		for e := 0; e < arch.NumEvents; e++ {
+			if iv.Counters[0][e] <= 0 {
+				t.Errorf("event E%d missing from device-sampled counters", e+1)
+			}
+		}
+	}
+}
+
+func TestDaemonEstimatesTrackMeasuredPower(t *testing.T) {
+	d, _ := attach(t, nil)
+	if err := d.RunIntervals(10); err != nil {
+		t.Fatal(err)
+	}
+	var errs []float64
+	for i, rep := range d.Reports {
+		errs = append(errs, stats.AbsPctErr(rep.Current().ChipW, d.Intervals[i].MeasPowerW))
+	}
+	s := stats.SummarizeAbsErrors(errs)
+	if s.Mean > 0.15 {
+		t.Errorf("device-path estimation error %.1f%%, want <15%%", 100*s.Mean)
+	}
+}
+
+func TestDaemonMultiplexedCountsMatchOracle(t *testing.T) {
+	// Device-sampled, extrapolated counts must agree with the chip's own
+	// mux bookkeeping within a few percent for a steady workload.
+	d, chip := attach(t, nil)
+	_ = chip
+	if err := d.RunIntervals(5); err != nil {
+		t.Fatal(err)
+	}
+	iv := d.Intervals[3]
+	inst := iv.Counters[0].Get(arch.RetiredInstructions)
+	cyc := iv.Counters[0].Get(arch.CPUClocksNotHalted)
+	if inst <= 0 || cyc <= 0 {
+		t.Fatal("no activity sampled")
+	}
+	cpi := cyc / inst
+	if cpi < 0.5 || cpi > 6 {
+		t.Errorf("device-sampled CPI %v implausible", cpi)
+	}
+	// Instruction rate should be in the right ballpark for milc at VF5:
+	// ~1e9 inst/s per instance.
+	rate := inst / iv.DurS
+	if rate < 3e8 || rate > 4e9 {
+		t.Errorf("instruction rate %v implausible", rate)
+	}
+}
+
+func TestDaemonPolicyDrivesVF(t *testing.T) {
+	policy := PolicyFunc(func(chip *fxsim.Chip, iv trace.Interval, rep *core.Report) {
+		_ = chip.SetAllPStates(dvfs.EnergyOptimal(rep))
+	})
+	d, chip := attach(t, policy)
+	if err := d.RunIntervals(6); err != nil {
+		t.Fatal(err)
+	}
+	// The energy policy must have moved the chip off the top state.
+	if chip.PState(0) == arch.VF5 {
+		t.Error("policy never changed the VF state")
+	}
+	// And later intervals observe the new state through the MSR path.
+	last := d.Intervals[len(d.Intervals)-1]
+	if last.VF() == arch.VF5 {
+		t.Error("device-sampled VF did not track the policy")
+	}
+}
+
+func TestDaemonCappingPolicy(t *testing.T) {
+	capper := &dvfs.PPEPCapper{Models: models(t), Target: func(float64) float64 { return 40 }}
+	policy := PolicyFunc(func(chip *fxsim.Chip, iv trace.Interval, rep *core.Report) {
+		capper.Decide(chip, iv)
+	})
+	d, _ := attach(t, policy)
+	if err := d.RunIntervals(8); err != nil {
+		t.Fatal(err)
+	}
+	// After settling, measured power must respect the 40 W budget.
+	for _, iv := range d.Intervals[2:] {
+		if iv.MeasPowerW > 44 {
+			t.Errorf("t=%.1f: %0.1fW over the 40W cap", iv.TimeS, iv.MeasPowerW)
+		}
+	}
+}
+
+func TestDaemonRequiresModels(t *testing.T) {
+	chip := fxsim.New(fxsim.DefaultFX8320Config())
+	d, err := Attach(chip, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RunIntervals(1); err == nil {
+		t.Error("daemon without models accepted")
+	}
+}
+
+func TestSamplerGroupRotation(t *testing.T) {
+	chip := fxsim.New(fxsim.DefaultFX8320Config())
+	d, err := Attach(chip, models(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := d.sampler
+	if s.active != 0 {
+		t.Error("sampler must start on group 0")
+	}
+	if err := s.OnWindow(20); err != nil {
+		t.Fatal(err)
+	}
+	if s.active != 1 {
+		t.Error("group did not rotate")
+	}
+	if err := s.OnWindow(20); err != nil {
+		t.Fatal(err)
+	}
+	if s.active != 0 {
+		t.Error("group did not rotate back")
+	}
+	if math.Abs(s.liveMS[0]-20) > 1e-9 || math.Abs(s.liveMS[1]-20) > 1e-9 {
+		t.Errorf("live times %v", s.liveMS)
+	}
+}

@@ -1,0 +1,135 @@
+// Package daemon is the user-level PPEP daemon as the paper deploys it
+// (Section IV-E): a sampler that programs and reads the performance
+// counters through the MSR interface, rotates the two six-event groups
+// every 20 ms to cover all twelve Table I events, reads the thermal diode
+// through hwmon, and assembles 200 ms measurement intervals — then feeds
+// them to the PPEP models and an optional DVFS policy.
+//
+// Unlike the simulator's built-in interval collection (which the training
+// campaign uses), everything here goes through the register-level device
+// emulation, exercising the same code path a real deployment would.
+package daemon
+
+import (
+	"fmt"
+
+	"ppep/internal/arch"
+	"ppep/internal/msr"
+	"ppep/internal/pmc"
+	"ppep/internal/trace"
+)
+
+// MSR is the register access surface the sampler needs (implemented by
+// internal/msr.Device).
+type MSR interface {
+	Rdmsr(core int, addr uint32) (uint64, error)
+	Wrmsr(core int, addr uint32, val uint64) error
+}
+
+// Thermometer reads the socket diode (implemented by internal/hwmon).
+type Thermometer interface {
+	TempK() float64
+}
+
+// Sampler multiplexes the twelve Table I events onto the six hardware
+// counters of every core: group 0 holds E1–E6, group 1 holds E7–E12.
+type Sampler struct {
+	dev      MSR
+	numCores int
+	tbl      arch.VFTable
+
+	groups [2][pmc.CountersPerCore]arch.EventID
+	active int
+	// counts accumulates raw per-core counts per event this interval.
+	counts []arch.EventVec
+	// liveMS tracks how long each group has counted this interval.
+	liveMS [2]float64
+}
+
+// NewSampler programs the initial counter group on every core and
+// returns the ready sampler.
+func NewSampler(dev MSR, numCores int, tbl arch.VFTable) (*Sampler, error) {
+	s := &Sampler{
+		dev:      dev,
+		numCores: numCores,
+		tbl:      tbl,
+		counts:   make([]arch.EventVec, numCores),
+	}
+	for i := 0; i < pmc.CountersPerCore; i++ {
+		s.groups[0][i] = arch.EventID(i + 1)
+		s.groups[1][i] = arch.EventID(i + 1 + pmc.CountersPerCore)
+	}
+	if err := s.program(0); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// program writes the PERF_CTL registers of every core for a group and
+// zeroes the counters.
+func (s *Sampler) program(group int) error {
+	for core := 0; core < s.numCores; core++ {
+		for slot, ev := range s.groups[group] {
+			ctl := msr.EncodeCtl(arch.Info(ev).Code)
+			if err := s.dev.Wrmsr(core, msr.PerfCtl(slot), ctl); err != nil {
+				return fmt.Errorf("daemon: program core %d slot %d: %w", core, slot, err)
+			}
+			if err := s.dev.Wrmsr(core, msr.PerfCtr(slot), 0); err != nil {
+				return fmt.Errorf("daemon: zero core %d slot %d: %w", core, slot, err)
+			}
+		}
+	}
+	s.active = group
+	return nil
+}
+
+// OnWindow closes one 20 ms multiplexing window: it reads and accumulates
+// the active group's counters on every core, then rotates to the other
+// group. windowMS is the wall-clock length the group was live.
+func (s *Sampler) OnWindow(windowMS float64) error {
+	for core := 0; core < s.numCores; core++ {
+		for slot, ev := range s.groups[s.active] {
+			v, err := s.dev.Rdmsr(core, msr.PerfCtr(slot))
+			if err != nil {
+				return fmt.Errorf("daemon: read core %d slot %d: %w", core, slot, err)
+			}
+			s.counts[core][int(ev)-1] += float64(v)
+		}
+	}
+	s.liveMS[s.active] += windowMS
+	return s.program(1 - s.active)
+}
+
+// EndInterval assembles the 200 ms measurement interval: per-core counts
+// extrapolated by each group's live share, the VF state read from the
+// P-state status MSR, and the given diode temperature. It resets the
+// accumulation for the next interval.
+func (s *Sampler) EndInterval(timeS, intervalMS, tempK float64) (trace.Interval, error) {
+	iv := trace.Interval{
+		TimeS: timeS,
+		DurS:  intervalMS / 1000,
+		TempK: tempK,
+	}
+	for core := 0; core < s.numCores; core++ {
+		var ev arch.EventVec
+		for g := 0; g < 2; g++ {
+			live := s.liveMS[g]
+			for _, id := range s.groups[g] {
+				if live > 0 {
+					ev[int(id)-1] = s.counts[core][int(id)-1] * intervalMS / live
+				}
+			}
+		}
+		pstate, err := s.dev.Rdmsr(core, msr.PStateStatus)
+		if err != nil {
+			return iv, fmt.Errorf("daemon: P-state read core %d: %w", core, err)
+		}
+		vf := arch.VFState(int(s.tbl.Top()) - int(pstate))
+		iv.Counters = append(iv.Counters, ev)
+		iv.PerCoreVF = append(iv.PerCoreVF, vf)
+		iv.Busy = append(iv.Busy, ev.Get(arch.RetiredInstructions) > 0)
+		s.counts[core] = arch.EventVec{}
+	}
+	s.liveMS = [2]float64{}
+	return iv, nil
+}

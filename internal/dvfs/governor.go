@@ -1,0 +1,134 @@
+package dvfs
+
+import (
+	"ppep/internal/arch"
+	"ppep/internal/core"
+	"ppep/internal/fxsim"
+	"ppep/internal/trace"
+)
+
+// GovStep records one interval of a governor run for later analysis.
+type GovStep struct {
+	TimeS        float64
+	VF           arch.VFState
+	MeasW        float64
+	Instructions float64
+}
+
+// recorder is the shared bookkeeping of the governors below.
+type recorder struct {
+	History []GovStep
+}
+
+func (r *recorder) record(chip *fxsim.Chip, iv trace.Interval) {
+	r.History = append(r.History, GovStep{
+		TimeS:        iv.TimeS,
+		VF:           iv.VF(),
+		MeasW:        iv.MeasPowerW,
+		Instructions: iv.Instructions(),
+	})
+}
+
+// EnergyJ integrates measured energy over a history.
+func EnergyJ(hist []GovStep, intervalS float64) float64 {
+	var e float64
+	for _, st := range hist {
+		e += st.MeasW * intervalS
+	}
+	return e
+}
+
+// Instructions sums retired instructions over a history.
+func Instructions(hist []GovStep) float64 {
+	var n float64
+	for _, st := range hist {
+		n += st.Instructions
+	}
+	return n
+}
+
+// StaticGovernor pins a single state — the paper's observation that
+// static policies suffice for pure energy optimization (Section V-C1:
+// "adopting dynamic DVFS policies improves the results by less than 2%").
+type StaticGovernor struct {
+	State arch.VFState
+	recorder
+}
+
+// Decide implements fxsim.Controller.
+func (g *StaticGovernor) Decide(chip *fxsim.Chip, iv trace.Interval) {
+	_ = chip.SetAllPStates(g.State)
+	g.record(chip, iv)
+}
+
+// OnDemandGovernor is the Linux-ondemand-style reactive baseline: it
+// watches core utilization (unhalted cycles over wall clock) and jumps to
+// the top state above the up-threshold, stepping down one state at a time
+// below the down-threshold. No prediction involved.
+type OnDemandGovernor struct {
+	// UpThreshold and DownThreshold bound the utilization band
+	// (defaults 0.80 / 0.30 when zero).
+	UpThreshold, DownThreshold float64
+	recorder
+}
+
+// Decide implements fxsim.Controller.
+func (g *OnDemandGovernor) Decide(chip *fxsim.Chip, iv trace.Interval) {
+	up, down := g.UpThreshold, g.DownThreshold
+	if up == 0 {
+		up = 0.80
+	}
+	if down == 0 {
+		down = 0.30
+	}
+	tbl := chip.VFTable()
+	// Utilization: the busiest core's unhalted-cycle share of its clock.
+	util := 0.0
+	for c := range iv.Counters {
+		f := tbl.Point(iv.PerCoreVF[c]).Freq
+		if f <= 0 || iv.DurS <= 0 {
+			continue
+		}
+		u := iv.Counters[c].Get(arch.CPUClocksNotHalted) / (f * 1e9 * iv.DurS)
+		if u > util {
+			util = u
+		}
+	}
+	cur := chip.PState(0)
+	switch {
+	case util >= up:
+		_ = chip.SetAllPStates(tbl.Top())
+	case util <= down && cur > tbl.Bottom():
+		_ = chip.SetAllPStates(cur - 1)
+	}
+	g.record(chip, iv)
+}
+
+// PPEPEnergyGovernor picks the predicted energy-optimal state each
+// interval — the proactive policy Section V-C1 envisions.
+type PPEPEnergyGovernor struct {
+	Models *core.Models
+	recorder
+}
+
+// Decide implements fxsim.Controller.
+func (g *PPEPEnergyGovernor) Decide(chip *fxsim.Chip, iv trace.Interval) {
+	if rep, err := g.Models.Analyze(iv); err == nil {
+		_ = chip.SetAllPStates(EnergyOptimal(rep))
+	}
+	g.record(chip, iv)
+}
+
+// PPEPEDPGovernor picks the predicted EDP-optimal state each interval.
+type PPEPEDPGovernor struct {
+	Models *core.Models
+	recorder
+}
+
+// Decide implements fxsim.Controller.
+func (g *PPEPEDPGovernor) Decide(chip *fxsim.Chip, iv trace.Interval) {
+	if rep, err := g.Models.Analyze(iv); err == nil {
+		_ = chip.SetAllPStates(EDPOptimal(rep))
+	}
+	g.record(chip, iv)
+}

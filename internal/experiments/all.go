@@ -1,0 +1,72 @@
+package experiments
+
+import "fmt"
+
+// Experiment is one reproducible table/figure.
+type Experiment struct {
+	ID   string
+	Desc string
+	Run  func(*Campaign) ([]*Result, error)
+}
+
+// one adapts a single-result harness.
+func one(f func(*Campaign) (*Result, error)) func(*Campaign) ([]*Result, error) {
+	return func(c *Campaign) ([]*Result, error) {
+		r, err := f(c)
+		if err != nil {
+			return nil, err
+		}
+		return []*Result{r}, nil
+	}
+}
+
+// All lists every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"sec3-cpi", "LL-MAB CPI predictor accuracy (Section III)", one((*Campaign).CPIAccuracy)},
+		{"fig1", "Idle power/temperature transient (Figure 1)", one((*Campaign).Fig1)},
+		{"sec4a-idle", "Idle power model validation (Section IV-A)", one((*Campaign).IdleModelAccuracy)},
+		{"fig2", "Power model validation, dynamic + chip (Figure 2)", func(c *Campaign) ([]*Result, error) {
+			a, b, err := c.Fig2()
+			if err != nil {
+				return nil, err
+			}
+			return []*Result{a, b}, nil
+		}},
+		{"sec4c-obs", "Observations 1 and 2 (Section IV-C)", one((*Campaign).Observations)},
+		{"fig3", "Cross-VF power prediction (Figure 3)", func(c *Campaign) ([]*Result, error) {
+			a, b, err := c.Fig3()
+			if err != nil {
+				return nil, err
+			}
+			return []*Result{a, b}, nil
+		}},
+		{"fig4", "Power gating CU sweep and decomposition (Figure 4)", one((*Campaign).Fig4)},
+		{"fig6", "Energy prediction vs Green Governors (Figure 6)", one((*Campaign).Fig6)},
+		{"fig7", "One-step power capping (Figure 7)", one((*Campaign).Fig7)},
+		{"fig8", "Per-thread energy exploration (Figure 8)", one((*Campaign).Fig8)},
+		{"fig9", "Per-thread EDP exploration (Figure 9)", one((*Campaign).Fig9)},
+		{"fig10", "NB energy share (Figure 10)", one((*Campaign).Fig10)},
+		{"fig11", "NB DVFS what-if (Figure 11)", one((*Campaign).Fig11)},
+		{"sec4b-corr", "Event correlation with dynamic power (Section IV-B1 rationale)", one((*Campaign).EventCorrelation)},
+		{"abl-alpha", "Ablation: fitted vs fixed voltage exponent", one((*Campaign).AblationAlpha)},
+		{"abl-nonb", "Ablation: dynamic model without NB proxy events", one((*Campaign).AblationNoNBEvents)},
+		{"abl-mux", "Ablation: counter multiplexing vs oracle counters", one((*Campaign).AblationMux)},
+		{"abl-sensor", "Ablation: noisy vs ideal power sensor", one((*Campaign).AblationSensor)},
+		{"abl-boost", "Ablation: hardware boost on vs off", one((*Campaign).AblationBoost)},
+		{"gov-compare", "Governor comparison (extension)", one((*Campaign).GovernorComparison)},
+		{"abl-llbw", "Ablation: LL model under bandwidth saturation", one((*Campaign).AblationLLBandwidth)},
+		{"sec4b-outliers", "Outlier analysis: error vs phase volatility", one((*Campaign).Outliers)},
+		{"abl-thermal", "Ablation: thermal feedback on cross-VF prediction", one((*Campaign).AblationThermalFeedback)},
+	}
+}
+
+// ByID returns the named experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}

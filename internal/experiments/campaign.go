@@ -1,0 +1,347 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation on the simulated platform: the measurement campaign
+// (152 benchmark combinations × 5 VF states, idle transients, power-gating
+// sweeps), model training with 4-fold cross-validation, and one harness
+// per figure producing the same rows/series the paper reports.
+package experiments
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+
+	"ppep/internal/arch"
+	"ppep/internal/core"
+	"ppep/internal/core/energy"
+	"ppep/internal/core/pgidle"
+	"ppep/internal/fxsim"
+	"ppep/internal/trace"
+	"ppep/internal/workload"
+)
+
+// Options scales the campaign. The full campaign (Scale=1) runs every
+// benchmark at its native length; smaller scales shrink instruction
+// counts proportionally, preserving phase structure, for quick runs and
+// benchmarks.
+type Options struct {
+	// Scale multiplies every benchmark's instruction count (default 1).
+	Scale float64
+	// MaxRunsPerSuite caps each suite's run list (0 = all). Useful for
+	// smoke tests.
+	MaxRunsPerSuite int
+	// Workers bounds the parallel simulation fan-out (0 = GOMAXPROCS).
+	Workers int
+	// SkipPhenom omits the secondary-platform validation campaign.
+	SkipPhenom bool
+}
+
+// Campaign holds a full measurement + training run for one platform.
+type Campaign struct {
+	Platform string
+	Table    arch.VFTable
+	Runs     []core.RunTrace
+	ByName   map[string]map[arch.VFState]*trace.Trace
+	Idle     map[arch.VFState]*trace.Trace
+	PGSweeps map[arch.VFState]pgidle.Sweep
+	// Models are trained on the complete campaign (cross-validated
+	// figures re-train per fold on subsets).
+	Models *core.Models
+	// GG is the Green Governors baseline trained on the same data.
+	GG *energy.GreenGovernors
+
+	opts Options
+
+	// Lazily-collected Section V exploration traces (PG enabled).
+	exploreOnce sync.Once
+	exploreTr   map[string]*trace.Trace
+	exploreErr  error
+}
+
+// scaleBench returns a copy of b with its length scaled.
+func scaleBench(b *workload.Benchmark, scale float64) *workload.Benchmark {
+	if scale == 1 || scale <= 0 {
+		return b
+	}
+	c := *b
+	c.Instructions = b.Instructions * scale
+	return &c
+}
+
+// scaleRun scales every member benchmark of a run.
+func scaleRun(r workload.Run, scale float64) workload.Run {
+	out := workload.Run{Name: r.Name, Suite: r.Suite}
+	for _, m := range r.Members {
+		out.Members = append(out.Members, workload.Member{
+			Bench: scaleBench(m.Bench, scale), Threads: m.Threads,
+		})
+	}
+	return out
+}
+
+// seedOf derives a stable sensor seed from a run identity.
+func seedOf(name string, vf arch.VFState) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s@%d", name, vf)
+	return int64(h.Sum64() & 0x7fffffffffffffff)
+}
+
+// truncate keeps at most n runs (n == 0 keeps all).
+func truncate(runs []workload.Run, n int) []workload.Run {
+	if n <= 0 || n >= len(runs) {
+		return runs
+	}
+	return runs[:n]
+}
+
+// NewFXCampaign executes the primary-platform campaign: idle transients
+// at every VF state, all benchmark combinations at all five states, the
+// power-gating sweeps, and model training.
+func NewFXCampaign(opts Options) (*Campaign, error) {
+	if opts.Scale == 0 {
+		opts.Scale = 1
+	}
+	c := &Campaign{
+		Platform: arch.FX8320.Name,
+		Table:    arch.FX8320VFTable,
+		ByName:   map[string]map[arch.VFState]*trace.Trace{},
+		Idle:     map[arch.VFState]*trace.Trace{},
+		PGSweeps: map[arch.VFState]pgidle.Sweep{},
+		opts:     opts,
+	}
+	// Idle heat/cool transients (sequential: five short runs).
+	for _, vf := range c.Table.States() {
+		cfg := fxsim.DefaultFX8320Config()
+		cfg.SensorSeed = seedOf("idle", vf)
+		chip := fxsim.New(cfg)
+		tr, err := chip.HeatCool(vf, 40, 90)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: idle transient at %v: %w", vf, err)
+		}
+		c.Idle[vf] = tr
+	}
+
+	// Benchmark combinations at every VF state, in parallel.
+	var runs []workload.Run
+	runs = append(runs, truncate(workload.SPECRuns(), opts.MaxRunsPerSuite)...)
+	runs = append(runs, truncate(workload.PARSECRuns(), opts.MaxRunsPerSuite)...)
+	runs = append(runs, truncate(workload.NPBRuns(), opts.MaxRunsPerSuite)...)
+	if err := c.collect(runs, fxsim.DefaultFX8320Config); err != nil {
+		return nil, err
+	}
+
+	// Power-gating CU sweeps (Figure 4) at every VF state.
+	for _, vf := range c.Table.States() {
+		sweep, err := pgSweep(vf, opts)
+		if err != nil {
+			return nil, err
+		}
+		c.PGSweeps[vf] = sweep
+	}
+
+	if err := c.train(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// NewPhenomCampaign executes the secondary-platform validation: PARSEC
+// and NPB runs at the Phenom II's four states (Section IV-B2 validates
+// "using PARSEC and NPB from VF4 to VF2").
+func NewPhenomCampaign(opts Options) (*Campaign, error) {
+	if opts.Scale == 0 {
+		opts.Scale = 1
+	}
+	c := &Campaign{
+		Platform: arch.PhenomII.Name,
+		Table:    arch.PhenomIIVFTable,
+		ByName:   map[string]map[arch.VFState]*trace.Trace{},
+		Idle:     map[arch.VFState]*trace.Trace{},
+		opts:     opts,
+	}
+	for _, vf := range c.Table.States() {
+		cfg := fxsim.DefaultPhenomIIConfig()
+		cfg.SensorSeed = seedOf("phenom-idle", vf)
+		chip := fxsim.New(cfg)
+		tr, err := chip.HeatCool(vf, 40, 90)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: phenom idle at %v: %w", vf, err)
+		}
+		c.Idle[vf] = tr
+	}
+	var runs []workload.Run
+	for _, r := range truncate(workload.PARSECRuns(), opts.MaxRunsPerSuite) {
+		if r.TotalThreads() <= arch.PhenomII.NumCores() {
+			runs = append(runs, r)
+		}
+	}
+	for _, r := range truncate(workload.NPBRuns(), opts.MaxRunsPerSuite) {
+		if r.TotalThreads() <= arch.PhenomII.NumCores() {
+			runs = append(runs, r)
+		}
+	}
+	if err := c.collect(runs, fxsim.DefaultPhenomIIConfig); err != nil {
+		return nil, err
+	}
+	return c, c.train()
+}
+
+// collect simulates every (run, VF) pair with a bounded worker pool.
+func (c *Campaign) collect(runs []workload.Run, mkCfg func() fxsim.Config) error {
+	type job struct {
+		run workload.Run
+		vf  arch.VFState
+	}
+	var jobs []job
+	for _, r := range runs {
+		for _, vf := range c.Table.States() {
+			jobs = append(jobs, job{r, vf})
+		}
+	}
+	workers := c.opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	results := make([]core.RunTrace, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			cfg := mkCfg()
+			cfg.SensorSeed = seedOf(j.run.Name, j.vf)
+			chip := fxsim.New(cfg)
+			scaled := scaleRun(j.run, c.opts.Scale)
+			tr, err := chip.Collect(scaled, fxsim.RunOpts{
+				VF: j.vf, WarmTempK: 315, Placement: fxsim.PlaceScatter,
+				MaxTimeS: 600,
+			})
+			if err != nil {
+				errs[i] = fmt.Errorf("experiments: %s at %v: %w", j.run.Name, j.vf, err)
+				return
+			}
+			results[i] = core.RunTrace{Name: j.run.Name, Suite: j.run.Suite, VF: j.vf, Trace: tr}
+		}(i, j)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	for _, rt := range results {
+		c.Runs = append(c.Runs, rt)
+		if c.ByName[rt.Name] == nil {
+			c.ByName[rt.Name] = map[arch.VFState]*trace.Trace{}
+		}
+		c.ByName[rt.Name][rt.VF] = rt.Trace
+	}
+	return nil
+}
+
+// pgSweep measures the Figure 4 busy-CU sweep at one VF state.
+func pgSweep(vf arch.VFState, opts Options) (pgidle.Sweep, error) {
+	var s pgidle.Sweep
+	for _, pg := range []bool{false, true} {
+		for busy := 0; busy <= arch.FX8320.NumCUs; busy++ {
+			cfg := fxsim.DefaultFX8320Config()
+			cfg.PowerGating = pg
+			cfg.SensorSeed = seedOf(fmt.Sprintf("pg%v-%d", pg, busy), vf)
+			chip := fxsim.New(cfg)
+			if err := chip.SetAllPStates(vf); err != nil {
+				return s, err
+			}
+			chip.SetTempK(318)
+			for cu := 0; cu < busy; cu++ {
+				if err := chip.Bind(cu*arch.FX8320.CoresPerCU, workload.BenchA(), true); err != nil {
+					return s, err
+				}
+			}
+			// Settle one interval, then measure four.
+			for i := 0; i < 200; i++ {
+				chip.Tick()
+			}
+			chip.ReadInterval()
+			var sum float64
+			const n = 4
+			for k := 0; k < n; k++ {
+				for i := 0; i < 200; i++ {
+					chip.Tick()
+				}
+				sum += chip.ReadInterval().MeasPowerW
+			}
+			if pg {
+				s.PGOn = append(s.PGOn, sum/n)
+			} else {
+				s.PGOff = append(s.PGOff, sum/n)
+			}
+		}
+	}
+	return s, nil
+}
+
+// train fits the full-campaign models and the Green Governors baseline.
+func (c *Campaign) train() error {
+	ts := core.TrainingSet{
+		IdleTraces: c.Idle,
+		Runs:       c.Runs,
+		PGSweeps:   c.PGSweeps,
+	}
+	m, err := core.Train(ts, c.Table)
+	if err != nil {
+		return fmt.Errorf("experiments: training: %w", err)
+	}
+	c.Models = m
+
+	// Green Governors static table: mean idle power per VF state.
+	static := map[arch.VFState]float64{}
+	for vf, tr := range c.Idle {
+		static[vf] = tr.AvgMeasPowerW()
+	}
+	var traces []*trace.Trace
+	for _, rt := range c.Runs {
+		traces = append(traces, rt.Trace)
+	}
+	if len(traces) > 0 {
+		gg, err := energy.TrainGG(static, traces, c.Table)
+		if err != nil {
+			return fmt.Errorf("experiments: Green Governors baseline: %w", err)
+		}
+		c.GG = gg
+	}
+	return nil
+}
+
+// SingleThreadedNames returns the 52 single-threaded run names (29 SPEC
+// singles, 13 PARSEC x1, 10 NPB x1) present in the campaign — the
+// Section III evaluation set.
+func (c *Campaign) SingleThreadedNames() []string {
+	var names []string
+	for _, rt := range c.Runs {
+		if rt.VF != c.Table.Top() {
+			continue
+		}
+		tr, ok := c.ByName[rt.Name]
+		if !ok || tr == nil {
+			continue
+		}
+		if isSingleThreaded(rt.Name) {
+			names = append(names, rt.Name)
+		}
+	}
+	return names
+}
+
+func isSingleThreaded(name string) bool {
+	// Single-threaded runs are SPEC singles ("429") and "x1" suffixed
+	// multi-threaded runs.
+	if len(name) == 3 {
+		return true
+	}
+	n := len(name)
+	return n > 3 && name[n-3:] == " x1"
+}

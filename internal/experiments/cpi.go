@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"ppep/internal/arch"
+	"ppep/internal/core/cpimodel"
+	"ppep/internal/core/eventpred"
+	"ppep/internal/stats"
+	"ppep/internal/trace"
+)
+
+// CPIAccuracy reproduces the Section III evaluation: the LL-MAB CPI
+// predictor's segment-aligned error on the 52 single-threaded benchmarks
+// between VF5 and VF2 (the paper: 3.4% down / 3.0% up).
+func (c *Campaign) CPIAccuracy() (*Result, error) {
+	res := &Result{
+		ID:     "sec3-cpi",
+		Title:  "LL-MAB CPI predictor error (single-threaded, VF5 ↔ VF2)",
+		Header: []string{"direction", "AAE", "SD", "benchmarks"},
+	}
+	hi, lo := c.Table.Top(), arch.VF2
+	if !c.Table.Contains(lo) {
+		lo = c.Table.Bottom()
+	}
+	fHi := c.Table.Point(hi).Freq
+	fLo := c.Table.Point(lo).Freq
+
+	var down, up []float64
+	names := c.SingleThreadedNames()
+	used := 0
+	for _, name := range names {
+		trHi := c.ByName[name][hi]
+		trLo := c.ByName[name][lo]
+		if trHi == nil || trLo == nil {
+			continue
+		}
+		seg := segmentSize(trHi)
+		d, err := cpimodel.SegmentErrors(trHi, trLo, 0, fHi, fLo, seg)
+		if err != nil {
+			continue
+		}
+		u, err := cpimodel.SegmentErrors(trLo, trHi, 0, fLo, fHi, seg)
+		if err != nil {
+			continue
+		}
+		down = append(down, stats.Mean(d))
+		up = append(up, stats.Mean(u))
+		used++
+	}
+	if used == 0 {
+		return nil, fmt.Errorf("experiments: no single-threaded traces for CPI accuracy")
+	}
+	ds := stats.SummarizeAbsErrors(down)
+	us := stats.SummarizeAbsErrors(up)
+	res.AddRow(fmt.Sprintf("%v→%v", hi, lo), pct(ds.Mean), pct(ds.SD), fmt.Sprint(used))
+	res.AddRow(fmt.Sprintf("%v→%v", lo, hi), pct(us.Mean), pct(us.SD), fmt.Sprint(used))
+	res.Metric("down_aae", ds.Mean)
+	res.Metric("up_aae", us.Mean)
+	res.Notes = append(res.Notes, "paper: 3.4% (SD 4.6%) down, 3.0% (SD 3.2%) up")
+	return res, nil
+}
+
+// segmentSize picks an instruction segment ~5% of the run.
+func segmentSize(tr *trace.Trace) float64 {
+	total := 0.0
+	for _, iv := range tr.Intervals {
+		total += iv.Counters[0].Get(arch.RetiredInstructions)
+	}
+	seg := total / 20
+	if seg <= 0 {
+		seg = 1e8
+	}
+	return seg
+}
+
+// Observations verifies the Section IV-C observations on the campaign
+// traces: per-instruction core-private event invariance (Obs. 1) and the
+// CPI − DispatchStalls/inst gap invariance (Obs. 2) between VF5 and VF2.
+func (c *Campaign) Observations() (*Result, error) {
+	res := &Result{
+		ID:     "sec4c-obs",
+		Title:  "Observation 1 & 2 checks (VF5 vs VF2, single-threaded)",
+		Header: []string{"quantity", "mean |diff|", "paper"},
+	}
+	hi, lo := c.Table.Top(), arch.VF2
+	paper := []string{"0.6%", "0.9%", "0.7%", "5.0%", "0.7%", "1.3%", "—", "4.0%"}
+
+	var evDiffs [8][]float64
+	var gapDiffs []float64
+	for _, name := range c.SingleThreadedNames() {
+		trHi := c.ByName[name][hi]
+		trLo := c.ByName[name][lo]
+		if trHi == nil || trLo == nil {
+			continue
+		}
+		hiPI, hiGap, ok1 := runFingerprint(trHi)
+		loPI, loGap, ok2 := runFingerprint(trLo)
+		if !ok1 || !ok2 {
+			continue
+		}
+		for i := 0; i < 8; i++ {
+			if hiPI[i] > 0 {
+				evDiffs[i] = append(evDiffs[i], math.Abs(loPI[i]-hiPI[i])/hiPI[i])
+			}
+		}
+		if hiGap > 0 {
+			gapDiffs = append(gapDiffs, math.Abs(loGap-hiGap)/hiGap)
+		}
+	}
+	if len(gapDiffs) == 0 {
+		return nil, fmt.Errorf("experiments: no traces for observation checks")
+	}
+	for i := 0; i < 8; i++ {
+		res.AddRow(fmt.Sprintf("E%d/inst", i+1), pct(stats.Mean(evDiffs[i])), paper[i])
+		res.Metric(fmt.Sprintf("obs1_e%d", i+1), stats.Mean(evDiffs[i]))
+	}
+	gap := stats.Mean(gapDiffs)
+	res.AddRow("CPI − DS/inst (Obs.2)", pct(gap), "1.7%")
+	res.Metric("obs2_gap", gap)
+	return res, nil
+}
+
+// runFingerprint computes a run's average per-instruction E1–E8 rates and
+// the Observation 2 gap, weighted by instructions.
+func runFingerprint(tr *trace.Trace) ([8]float64, float64, bool) {
+	var sums arch.EventVec
+	for _, iv := range tr.Intervals {
+		for _, ev := range iv.Counters {
+			sums.Add(ev)
+		}
+	}
+	pi, ok := eventpred.PerInstruction(sums)
+	if !ok {
+		return pi, 0, false
+	}
+	gap, ok := eventpred.Gap(sums)
+	return pi, gap, ok
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ppep/internal/core/idlepower"
+)
+
+// Fig1 reproduces Figure 1: the idle power and temperature transient at
+// VF5 as the chip heats under load and cools while idle. Rows are a
+// downsampled trace of the cooling phase.
+func (c *Campaign) Fig1() (*Result, error) {
+	res := &Result{
+		ID:     "fig1",
+		Title:  "Idle power and temperature during cool-down at top VF",
+		Header: []string{"step(200ms)", "power(W)", "temp(K)"},
+	}
+	tr, ok := c.Idle[c.Table.Top()]
+	if !ok {
+		return nil, fmt.Errorf("experiments: no idle transient at top VF")
+	}
+	stride := len(tr.Intervals) / 20
+	if stride < 1 {
+		stride = 1
+	}
+	for i := 0; i < len(tr.Intervals); i += stride {
+		iv := tr.Intervals[i]
+		res.AddRow(fmt.Sprint(i+1), f2(iv.MeasPowerW), f2(iv.TempK))
+	}
+	first, last := tr.Intervals[0], tr.Intervals[len(tr.Intervals)-1]
+	res.Metric("start_temp_k", first.TempK)
+	res.Metric("end_temp_k", last.TempK)
+	res.Metric("start_power_w", first.MeasPowerW)
+	res.Metric("end_power_w", last.MeasPowerW)
+	res.Notes = append(res.Notes,
+		"paper: power and temperature fall together during cooling; leakage ≈ linear in T over the operating range")
+	return res, nil
+}
+
+// IdleModelAccuracy reproduces the Section IV-A validation: the idle
+// power model's AAE per VF state (paper: 2/3/4/3/3% on the FX-8320,
+// 3/2/2/2% on the Phenom II).
+func (c *Campaign) IdleModelAccuracy() (*Result, error) {
+	res := &Result{
+		ID:     "sec4a-idle",
+		Title:  "Chip idle power model validation (" + c.Platform + ")",
+		Header: []string{"state", "AAE", "SD"},
+	}
+	model, err := idlepower.TrainFromTraces(c.Idle, c.Table)
+	if err != nil {
+		return nil, err
+	}
+	// Highest state first, as the paper lists "VF5 down to VF1".
+	states := c.Table.States()
+	var sumAAE float64
+	for i := len(states) - 1; i >= 0; i-- {
+		vf := states[i]
+		tr, ok := c.Idle[vf]
+		if !ok {
+			continue
+		}
+		s := model.Validate(tr, c.Table)
+		res.AddRow(vf.String(), pct(s.Mean), pct(s.SD))
+		res.Metric("aae_"+vf.String(), s.Mean)
+		sumAAE += s.Mean
+	}
+	res.Metric("avg_aae", sumAAE/float64(len(states)))
+	res.Notes = append(res.Notes, "paper (FX-8320): 2%, 3%, 4%, 3%, 3% for VF5..VF1")
+	return res, nil
+}

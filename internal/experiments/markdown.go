@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteMarkdown renders a set of experiment results as a Markdown report
+// (the format behind EXPERIMENTS.md's raw appendix). Results appear in
+// the order given; each becomes a section with its table, headline
+// metrics, and notes.
+func WriteMarkdown(w io.Writer, title string, results []*Result) error {
+	if _, err := fmt.Fprintf(w, "# %s\n", title); err != nil {
+		return err
+	}
+	for _, r := range results {
+		if err := writeOne(w, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeOne(w io.Writer, r *Result) error {
+	if _, err := fmt.Fprintf(w, "\n## %s — %s\n\n", r.ID, r.Title); err != nil {
+		return err
+	}
+	if len(r.Header) > 0 {
+		if err := writeRow(w, r.Header); err != nil {
+			return err
+		}
+		sep := make([]string, len(r.Header))
+		for i := range sep {
+			sep[i] = "---"
+		}
+		if err := writeRow(w, sep); err != nil {
+			return err
+		}
+		for _, row := range r.Rows {
+			if err := writeRow(w, row); err != nil {
+				return err
+			}
+		}
+	}
+	if len(r.Metrics) > 0 {
+		keys := make([]string, 0, len(r.Metrics))
+		for k := range r.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, len(keys))
+		for i, k := range keys {
+			parts[i] = fmt.Sprintf("`%s` = %.4g", k, r.Metrics[k])
+		}
+		if _, err := fmt.Fprintf(w, "\nHeadline: %s\n", strings.Join(parts, ", ")); err != nil {
+			return err
+		}
+	}
+	for _, n := range r.Notes {
+		if _, err := fmt.Fprintf(w, "\n> %s\n", n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeRow(w io.Writer, cells []string) error {
+	escaped := make([]string, len(cells))
+	for i, c := range cells {
+		escaped[i] = strings.ReplaceAll(c, "|", "\\|")
+	}
+	_, err := fmt.Fprintf(w, "| %s |\n", strings.Join(escaped, " | "))
+	return err
+}

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ppep/internal/core/pgidle"
+)
+
+// Fig4 reproduces Figure 4: chip power versus busy compute units with
+// power gating disabled and enabled, at every VF state, plus the derived
+// idle power decomposition (P_idle(CU), P_idle(NB), P_idle(Base)).
+func (c *Campaign) Fig4() (*Result, error) {
+	if len(c.PGSweeps) == 0 {
+		return nil, fmt.Errorf("experiments: no power-gating sweeps in campaign")
+	}
+	res := &Result{
+		ID:     "fig4",
+		Title:  "Chip power vs busy CUs, power gating off/on",
+		Header: []string{"state", "busy CUs", "PG off (W)", "PG on (W)"},
+	}
+	states := c.Table.States()
+	for i := len(states) - 1; i >= 0; i-- {
+		vf := states[i]
+		sweep, ok := c.PGSweeps[vf]
+		if !ok {
+			continue
+		}
+		for k := range sweep.PGOff {
+			res.AddRow(vf.String(), fmt.Sprint(k), f2(sweep.PGOff[k]), f2(sweep.PGOn[k]))
+		}
+		d, err := pgidle.Decompose(sweep)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: decompose at %v: %w", vf, err)
+		}
+		res.AddRow(vf.String(), "→ decomposition",
+			fmt.Sprintf("Pidle(CU)=%.2fW Pidle(NB)=%.2fW", d.PidleCU, d.PidleNB),
+			fmt.Sprintf("Pidle(Base)=%.2fW", d.PidleBase))
+		res.Metric("pidle_cu_"+vf.String(), d.PidleCU)
+		res.Metric("pidle_nb_"+vf.String(), d.PidleNB)
+		res.Metric("pidle_base_"+vf.String(), d.PidleBase)
+	}
+	res.Notes = append(res.Notes,
+		"paper: gaps at k busy CUs equal (4−k)·Pidle(CU); the idle gap adds Pidle(NB); Pidle(Base) is VF-independent")
+	return res, nil
+}

@@ -1,0 +1,533 @@
+// Package fxsim is the simulated evaluation platform: an AMD FX-8320-class
+// chip with compute units, per-CU P-states, CU-level power gating, a
+// shared north bridge, package thermals, the Hall-effect power sensor, and
+// per-core multiplexed performance counters. It binds workload profiles to
+// cores, advances in 1 ms ticks, and emits the 200 ms measurement
+// intervals (trace.Interval) the PPEP models consume — the same
+// observables the paper's testbed exposes.
+package fxsim
+
+import (
+	"fmt"
+
+	"ppep/internal/arch"
+	"ppep/internal/mem"
+	"ppep/internal/pmc"
+	"ppep/internal/powertruth"
+	"ppep/internal/sensor"
+	"ppep/internal/thermal"
+	"ppep/internal/trace"
+	"ppep/internal/uarch"
+	"ppep/internal/workload"
+)
+
+// TickS is the simulation tick: 1 ms, twenty ticks per sensor sample
+// window would be wrong — it is 20 ticks per mux window and one sensor
+// sample every PowerSamplePeriodMS ticks.
+const TickS = 0.001
+
+// Config selects the platform and its measurement behaviour.
+type Config struct {
+	Topology arch.Topology
+	Power    *powertruth.Config
+	NB       *mem.NB
+	// PowerGating is the BIOS PG switch (Section IV-D): when true, a CU
+	// with both cores idle is gated, and the NB gates when all CUs are.
+	PowerGating bool
+	// PerCUPlanes allows per-CU voltage (the Section V-B assumption).
+	// Without it, all CUs share the voltage of the highest P-state.
+	PerCUPlanes bool
+	// MuxDisabled switches the counter multiplexer into oracle mode.
+	MuxDisabled bool
+	// BoostEnabled turns on the hardware-controlled boost states the
+	// paper disables (Section II): a CU at the top P-state boosts when
+	// few CUs are busy and the package is cool. Boost is invisible to
+	// software — exactly why the paper turns it off for measurements.
+	BoostEnabled bool
+	// BoostPoint is the boosted operating point (default 3.9 GHz,
+	// 1.40 V when zero).
+	BoostPoint arch.VFPoint
+	// BoostMaxBusyCUs is the busy-CU ceiling for boosting (default 2).
+	BoostMaxBusyCUs int
+	// BoostTempMaxK is the thermal ceiling for boosting (default 331 K).
+	BoostTempMaxK float64
+	// SensorSeed seeds the power sensor's noise.
+	SensorSeed int64
+	// IdealSensor replaces the noisy sensor with a perfect one.
+	IdealSensor bool
+}
+
+// DefaultFX8320Config returns the paper's primary platform with power
+// gating disabled, the Section IV-A..C configuration.
+func DefaultFX8320Config() Config {
+	return Config{
+		Topology:   arch.FX8320,
+		Power:      powertruth.DefaultFX8320(),
+		NB:         mem.DefaultFX8320NB(),
+		SensorSeed: 42,
+	}
+}
+
+// DefaultPhenomIIConfig returns the secondary validation platform.
+func DefaultPhenomIIConfig() Config {
+	return Config{
+		Topology:   arch.PhenomII,
+		Power:      powertruth.DefaultPhenomII(),
+		NB:         mem.DefaultFX8320NB(),
+		SensorSeed: 43,
+	}
+}
+
+// coreSlot is one hardware core's runtime state.
+type coreSlot struct {
+	thread *uarch.Core // nil when idle
+	mux    *pmc.Mux
+	// counters, when non-nil, is the register-level counter file the MSR
+	// device exposes (EnableCounterFiles).
+	counters *pmc.CounterFile
+	// restart re-binds the same benchmark when the thread finishes
+	// (used by time-bounded experiments like power capping).
+	restart bool
+	bench   *workload.Benchmark
+}
+
+// Chip is the live simulated processor.
+type Chip struct {
+	cfg     Config
+	cores   []coreSlot
+	pstates []arch.VFState // per CU
+	nbPoint arch.VFPoint
+
+	therm  *thermal.Model
+	sensor *sensor.PowerSensor
+
+	timeS    float64
+	tickIdx  int64
+	lastUtil float64 // DRAM utilization of the previous tick
+
+	// Interval accumulation.
+	sensorSum   float64
+	sensorN     int
+	trueSum     float64
+	trueCoreSum float64
+	trueNBSum   float64
+	coreDynSum  []float64
+	tickCount   int
+	intervalVF  []arch.VFState
+}
+
+// New builds a chip at the top VF state, thermally at ambient.
+func New(cfg Config) *Chip {
+	c := &Chip{
+		cfg:        cfg,
+		cores:      make([]coreSlot, cfg.Topology.NumCores()),
+		pstates:    make([]arch.VFState, cfg.Topology.NumCUs),
+		nbPoint:    arch.VFPoint{Voltage: cfg.NB.VoltageV, Freq: cfg.NB.FreqGHz},
+		therm:      thermal.DefaultFX8320(),
+		coreDynSum: make([]float64, cfg.Topology.NumCores()),
+	}
+	if cfg.IdealSensor {
+		c.sensor = sensor.Ideal()
+	} else {
+		c.sensor = sensor.Default(cfg.SensorSeed)
+	}
+	for i := range c.cores {
+		m := pmc.NewMux()
+		m.Disabled = cfg.MuxDisabled
+		c.cores[i].mux = m
+	}
+	top := cfg.Topology.VF.Top()
+	for cu := range c.pstates {
+		c.pstates[cu] = top
+	}
+	c.snapshotVF()
+	return c
+}
+
+// Topology returns the platform topology.
+func (c *Chip) Topology() arch.Topology { return c.cfg.Topology }
+
+// VFTable returns the platform's VF table.
+func (c *Chip) VFTable() arch.VFTable { return c.cfg.Topology.VF }
+
+// TimeS returns the current simulation time.
+func (c *Chip) TimeS() float64 { return c.timeS }
+
+// TempK returns the thermal diode reading (millikelvin quantization, as
+// the hwmon sysfs path reports).
+func (c *Chip) TempK() float64 {
+	return float64(int64(c.therm.TempK()*1000)) / 1000
+}
+
+// SetTempK forces the package temperature (experiment setup).
+func (c *Chip) SetTempK(t float64) { c.therm.SetTempK(t) }
+
+// Thermal returns the thermal model (used by heat/cool experiments).
+func (c *Chip) Thermal() *thermal.Model { return c.therm }
+
+// SetPState requests a P-state for one CU.
+func (c *Chip) SetPState(cu int, s arch.VFState) error {
+	if cu < 0 || cu >= len(c.pstates) {
+		return fmt.Errorf("fxsim: CU %d out of range", cu)
+	}
+	if !c.cfg.Topology.VF.Contains(s) {
+		return fmt.Errorf("fxsim: %v not in VF table", s)
+	}
+	c.pstates[cu] = s
+	return nil
+}
+
+// SetAllPStates sets every CU to the same P-state.
+func (c *Chip) SetAllPStates(s arch.VFState) error {
+	for cu := range c.pstates {
+		if err := c.SetPState(cu, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PState returns a CU's current P-state.
+func (c *Chip) PState(cu int) arch.VFState { return c.pstates[cu] }
+
+// SetNBPoint overrides the NB operating point (Section V-C2 what-if).
+func (c *Chip) SetNBPoint(p arch.VFPoint) {
+	c.nbPoint = p
+	c.cfg.NB.FreqGHz = p.Freq
+	c.cfg.NB.VoltageV = p.Voltage
+}
+
+// railVoltage returns the voltage a CU runs at: its own point with per-CU
+// planes, otherwise the shared rail at the highest requested state.
+// A boosting CU pulls the rail to the boost voltage.
+func (c *Chip) railVoltage(cu int) float64 {
+	if c.cfg.PerCUPlanes {
+		if c.boosting(cu) {
+			return c.boostPoint().Voltage
+		}
+		return c.cfg.Topology.VF.Point(c.pstates[cu]).Voltage
+	}
+	top := c.pstates[0]
+	for _, s := range c.pstates[1:] {
+		if s > top {
+			top = s
+		}
+	}
+	v := c.cfg.Topology.VF.Point(top).Voltage
+	for u := 0; u < c.cfg.Topology.NumCUs; u++ {
+		if c.boosting(u) {
+			if bv := c.boostPoint().Voltage; bv > v {
+				v = bv
+			}
+		}
+	}
+	return v
+}
+
+// cuFreq returns a CU's clock in GHz, including any active boost.
+func (c *Chip) cuFreq(cu int) float64 {
+	if c.boosting(cu) {
+		return c.boostPoint().Freq
+	}
+	return c.cfg.Topology.VF.Point(c.pstates[cu]).Freq
+}
+
+// boostPoint returns the configured boost operating point.
+func (c *Chip) boostPoint() arch.VFPoint {
+	if c.cfg.BoostPoint.Freq > 0 {
+		return c.cfg.BoostPoint
+	}
+	return arch.VFPoint{Voltage: 1.40, Freq: 3.9}
+}
+
+// boosting reports whether a CU is in a hardware boost state this tick:
+// boost is enabled, the CU sits at the top P-state with work, few CUs
+// are busy, and the package is cool. Software cannot observe or control
+// this — the measurement hazard the paper avoids by disabling boost.
+func (c *Chip) boosting(cu int) bool {
+	if !c.cfg.BoostEnabled {
+		return false
+	}
+	if c.pstates[cu] != c.cfg.Topology.VF.Top() {
+		return false
+	}
+	maxBusy := c.cfg.BoostMaxBusyCUs
+	if maxBusy == 0 {
+		maxBusy = 2
+	}
+	tMax := c.cfg.BoostTempMaxK
+	if tMax == 0 {
+		tMax = 331
+	}
+	if c.therm.TempK() >= tMax {
+		return false
+	}
+	busyCUs := 0
+	cuBusy := false
+	per := c.cfg.Topology.CoresPerCU
+	for u := 0; u < c.cfg.Topology.NumCUs; u++ {
+		for l := 0; l < per; l++ {
+			if c.Busy(u*per + l) {
+				busyCUs++
+				if u == cu {
+					cuBusy = true
+				}
+				break
+			}
+		}
+	}
+	return cuBusy && busyCUs <= maxBusy
+}
+
+// Bind places a thread of the benchmark on a hardware core (the taskset
+// equivalent). restart re-binds on completion.
+func (c *Chip) Bind(core int, b *workload.Benchmark, restart bool) error {
+	if core < 0 || core >= len(c.cores) {
+		return fmt.Errorf("fxsim: core %d out of range", core)
+	}
+	if c.cores[core].thread != nil {
+		return fmt.Errorf("fxsim: core %d already busy", core)
+	}
+	fTop := c.cfg.Topology.VF.Point(c.cfg.Topology.VF.Top()).Freq
+	c.cores[core].thread = uarch.NewCore(b, fTop)
+	c.cores[core].bench = b
+	c.cores[core].restart = restart
+	return nil
+}
+
+// Unbind removes any thread from a core.
+func (c *Chip) Unbind(core int) {
+	c.cores[core].thread = nil
+	c.cores[core].bench = nil
+	c.cores[core].restart = false
+}
+
+// UnbindAll idles the whole chip.
+func (c *Chip) UnbindAll() {
+	for i := range c.cores {
+		c.Unbind(i)
+	}
+}
+
+// Busy reports whether a thread is bound and unfinished on the core.
+func (c *Chip) Busy(core int) bool {
+	t := c.cores[core].thread
+	return t != nil && !t.Finished()
+}
+
+// AllIdle reports whether no core has active work.
+func (c *Chip) AllIdle() bool {
+	for i := range c.cores {
+		if c.Busy(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// siblingBusy reports whether the other core of this core's CU is busy.
+func (c *Chip) siblingBusy(core int) bool {
+	per := c.cfg.Topology.CoresPerCU
+	if per < 2 {
+		return false
+	}
+	cu := c.cfg.Topology.CUOf(core)
+	for l := 0; l < per; l++ {
+		other := cu*per + l
+		if other != core && c.Busy(other) {
+			return true
+		}
+	}
+	return false
+}
+
+// cuGated reports whether a CU is power gated this tick.
+func (c *Chip) cuGated(cu int) bool {
+	if !c.cfg.PowerGating {
+		return false
+	}
+	base := cu * c.cfg.Topology.CoresPerCU
+	for i := 0; i < c.cfg.Topology.CoresPerCU; i++ {
+		if c.Busy(base + i) {
+			return false
+		}
+	}
+	return true
+}
+
+// nbGated reports whether the NB is gated (all CUs gated).
+func (c *Chip) nbGated() bool {
+	if !c.cfg.PowerGating {
+		return false
+	}
+	for cu := 0; cu < c.cfg.Topology.NumCUs; cu++ {
+		if !c.cuGated(cu) {
+			return false
+		}
+	}
+	return true
+}
+
+// snapshotVF records the per-core VF states for the current interval.
+func (c *Chip) snapshotVF() {
+	c.intervalVF = make([]arch.VFState, len(c.cores))
+	for i := range c.cores {
+		c.intervalVF[i] = c.pstates[c.cfg.Topology.CUOf(i)]
+	}
+}
+
+// Tick advances the chip by one 1 ms step: runs every bound thread,
+// accumulates counters, computes true power, advances thermals, and takes
+// a sensor sample every 20 ms.
+func (c *Chip) Tick() {
+	if c.tickCount == 0 {
+		// First tick of a fresh interval: record the P-states it runs
+		// under (controllers change states at interval boundaries).
+		c.snapshotVF()
+	}
+	lat := c.cfg.NB.Snapshot(c.lastUtil)
+	var nbAct powertruth.NBActivity
+	var breakdown powertruth.Breakdown
+	breakdown.CoreDynW = make([]float64, len(c.cores))
+
+	anyAwake := !c.nbGated()
+	maxFreq := 0.0
+
+	for i := range c.cores {
+		cu := c.cfg.Topology.CUOf(i)
+		f := c.cuFreq(cu)
+		v := c.railVoltage(cu)
+		if f > maxFreq {
+			maxFreq = f
+		}
+		slot := &c.cores[i]
+		var act powertruth.Activity
+		if c.Busy(i) {
+			coreLat := lat
+			if c.siblingBusy(i) {
+				coreLat.L2ContentionCycles = mem.L2SiblingPenaltyCycles
+			}
+			r := slot.thread.Step(f, TickS, coreLat)
+			slot.mux.Accumulate(r.Events, TickS*1000)
+			if slot.counters != nil {
+				slot.counters.Accumulate(r.Events)
+			}
+			nbAct.L3AccessPS += r.L3Accesses / TickS
+			nbAct.DRAMPS += r.DRAMAccesses / TickS
+			act = powertruth.Activity{
+				Events:     r.Events.Scale(1 / TickS),
+				PrefetchPS: r.Prefetches / TickS,
+				TLBWalkPS:  r.TLBWalks / TickS,
+				EPIScale:   r.EPIScale,
+			}
+			if r.Finished && slot.restart {
+				fTop := c.cfg.Topology.VF.Point(c.cfg.Topology.VF.Top()).Freq
+				slot.thread = uarch.NewCore(slot.bench, fTop)
+			}
+		} else {
+			act = powertruth.Activity{Halted: true}
+			if c.cfg.PowerGating && c.cuGated(cu) {
+				// Gated: no clock power at all.
+				breakdown.CoreDynW[i] = 0
+				continue
+			}
+		}
+		breakdown.CoreDynW[i] = c.cfg.Power.CoreDynamicW(act, v, f)
+	}
+
+	tK := c.therm.TempK()
+	for cu := 0; cu < c.cfg.Topology.NumCUs; cu++ {
+		breakdown.CULeakW = append(breakdown.CULeakW,
+			c.cfg.Power.CULeakageW(c.railVoltage(cu), tK, c.cuGated(cu)))
+	}
+	gatedNB := c.nbGated()
+	if gatedNB {
+		breakdown.NBDynW = 0
+	} else {
+		breakdown.NBDynW = c.cfg.Power.NBDynamicW(nbAct, c.nbPoint.Voltage, c.nbPoint.Freq)
+	}
+	breakdown.NBLeakW = c.cfg.Power.NBLeakageW(c.nbPoint.Voltage, tK, gatedNB)
+	breakdown.BaseW = c.cfg.Power.BaseW
+	if anyAwake {
+		fTop := c.cfg.Topology.VF.Point(c.cfg.Topology.VF.Top()).Freq
+		breakdown.HousekW = c.cfg.Power.HousekeepingDynW(c.railVoltage(0), maxFreq, fTop)
+	}
+
+	totalW := breakdown.TotalW()
+	c.therm.Step(totalW, TickS)
+	// Damped utilization feedback: raw per-tick utilization oscillates
+	// (high latency → low demand → low latency → ...); an EMA mirrors
+	// the averaging a real memory controller's queues perform.
+	c.lastUtil = 0.6*c.lastUtil + 0.4*c.cfg.NB.Utilization(nbAct.DRAMPS)
+
+	// Interval accumulation.
+	c.trueSum += totalW
+	c.trueCoreSum += breakdown.CoreTotalW()
+	c.trueNBSum += breakdown.NBTotalW()
+	for i, w := range breakdown.CoreDynW {
+		c.coreDynSum[i] += w
+	}
+	c.tickCount++
+	c.tickIdx++
+	c.timeS += TickS
+	if c.tickIdx%int64(arch.PowerSamplePeriodMS) == 0 {
+		c.sensorSum += c.sensor.Sample(totalW)
+		c.sensorN++
+	}
+}
+
+// EnableCounterFiles attaches a register-level counter file to every core
+// so the MSR device (internal/msr) can expose PERF_CTL/PERF_CTR access.
+func (c *Chip) EnableCounterFiles() {
+	for i := range c.cores {
+		if c.cores[i].counters == nil {
+			c.cores[i].counters = pmc.NewCounterFile()
+		}
+	}
+}
+
+// CounterFile returns core i's register-level counter file, or nil when
+// EnableCounterFiles has not been called.
+func (c *Chip) CounterFile(core int) *pmc.CounterFile {
+	if core < 0 || core >= len(c.cores) {
+		return nil
+	}
+	return c.cores[core].counters
+}
+
+// ReadInterval closes the current measurement interval: it reads and
+// resets every core's multiplexed counters, averages the sensor samples,
+// and returns the assembled record. Call every 200 ticks for the paper's
+// 200 ms cadence.
+func (c *Chip) ReadInterval() trace.Interval {
+	dur := float64(c.tickCount) * TickS
+	iv := trace.Interval{
+		TimeS:     c.timeS,
+		DurS:      dur,
+		TempK:     c.TempK(),
+		PerCoreVF: c.intervalVF,
+	}
+	for i := range c.cores {
+		iv.Counters = append(iv.Counters, c.cores[i].mux.ReadInterval(dur*1000))
+		iv.Busy = append(iv.Busy, c.Busy(i))
+	}
+	if c.sensorN > 0 {
+		iv.MeasPowerW = c.sensorSum / float64(c.sensorN)
+	}
+	if c.tickCount > 0 {
+		n := float64(c.tickCount)
+		iv.TruePowerW = c.trueSum / n
+		iv.TrueCoreW = c.trueCoreSum / n
+		iv.TrueNBW = c.trueNBSum / n
+		for _, w := range c.coreDynSum {
+			iv.TrueCoreDynW = append(iv.TrueCoreDynW, w/n)
+		}
+	}
+	c.sensorSum, c.sensorN = 0, 0
+	c.trueSum, c.trueCoreSum, c.trueNBSum = 0, 0, 0
+	for i := range c.coreDynSum {
+		c.coreDynSum[i] = 0
+	}
+	c.tickCount = 0
+	return iv
+}

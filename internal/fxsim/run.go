@@ -1,0 +1,172 @@
+package fxsim
+
+import (
+	"fmt"
+
+	"ppep/internal/arch"
+	"ppep/internal/trace"
+	"ppep/internal/workload"
+)
+
+// Placement decides which hardware cores a run's threads occupy.
+type Placement int
+
+const (
+	// PlaceScatter spreads threads one-per-CU first (the paper pins one
+	// benchmark instance per compute unit in Section V).
+	PlaceScatter Placement = iota
+	// PlaceCompact fills CUs fully before moving to the next.
+	PlaceCompact
+)
+
+// PlaceRun binds every thread of the run onto the chip. It returns the
+// chosen core indices in binding order.
+func (c *Chip) PlaceRun(r workload.Run, p Placement, restart bool) ([]int, error) {
+	order := c.coreOrder(p)
+	need := r.TotalThreads()
+	if need > len(order) {
+		return nil, fmt.Errorf("fxsim: run %s needs %d threads, chip has %d cores", r.Name, need, len(order))
+	}
+	var used []int
+	next := 0
+	for _, m := range r.Members {
+		for t := 0; t < m.Threads; t++ {
+			core := order[next]
+			next++
+			if err := c.Bind(core, m.Bench, restart); err != nil {
+				return nil, err
+			}
+			used = append(used, core)
+		}
+	}
+	return used, nil
+}
+
+// coreOrder returns core indices in placement order.
+func (c *Chip) coreOrder(p Placement) []int {
+	n := len(c.cores)
+	if p == PlaceCompact {
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		return order
+	}
+	// Scatter: first core of each CU, then second, ...
+	var order []int
+	per := c.cfg.Topology.CoresPerCU
+	for lane := 0; lane < per; lane++ {
+		for cu := 0; cu < c.cfg.Topology.NumCUs; cu++ {
+			order = append(order, cu*per+lane)
+		}
+	}
+	return order
+}
+
+// Controller receives each closed interval and may adjust the chip's
+// P-states before the next one. The PPEP daemon and the baseline iterative
+// governor both plug in here.
+type Controller interface {
+	Decide(chip *Chip, iv trace.Interval)
+}
+
+// RunOpts configures one measured run.
+type RunOpts struct {
+	// VF is the initial P-state for every CU.
+	VF arch.VFState
+	// MaxTimeS bounds the run's simulated duration (0 = until all
+	// threads finish; required to be >0 when Restart is set).
+	MaxTimeS float64
+	// Restart re-binds threads when they finish, making the run
+	// time-bounded rather than work-bounded.
+	Restart bool
+	// Placement for the run's threads.
+	Placement Placement
+	// WarmTempK starts the package at the given temperature (0 = start
+	// from the thermal model's current state).
+	WarmTempK float64
+	// Controller, when non-nil, is consulted after every interval.
+	Controller Controller
+}
+
+// Collect runs the workload to completion (or MaxTimeS) and returns the
+// full measurement trace at the paper's 200 ms interval cadence.
+func (c *Chip) Collect(r workload.Run, opts RunOpts) (*trace.Trace, error) {
+	if opts.Restart && opts.MaxTimeS <= 0 {
+		return nil, fmt.Errorf("fxsim: Restart requires MaxTimeS")
+	}
+	if opts.VF != 0 {
+		if err := c.SetAllPStates(opts.VF); err != nil {
+			return nil, err
+		}
+	}
+	if opts.WarmTempK > 0 {
+		c.SetTempK(opts.WarmTempK)
+	}
+	c.UnbindAll()
+	// Align interval boundaries with run start.
+	c.ReadInterval()
+	if _, err := c.PlaceRun(r, opts.Placement, opts.Restart); err != nil {
+		return nil, err
+	}
+
+	tr := &trace.Trace{Run: r.Name, Suite: r.Suite, Platform: c.cfg.Topology.Name}
+	ticksPerInterval := arch.DecisionIntervalMS
+	start := c.timeS
+	for {
+		for i := 0; i < ticksPerInterval; i++ {
+			c.Tick()
+		}
+		iv := c.ReadInterval()
+		tr.Intervals = append(tr.Intervals, iv)
+		if opts.Controller != nil {
+			opts.Controller.Decide(c, iv)
+		}
+		if !opts.Restart && c.AllIdle() {
+			break
+		}
+		if opts.MaxTimeS > 0 && c.timeS-start >= opts.MaxTimeS {
+			break
+		}
+	}
+	c.UnbindAll()
+	return tr, nil
+}
+
+// HeatCool performs the Figure 1 experiment: heat the chip under full
+// load for heatS seconds at the given VF state, then idle for coolS
+// seconds, returning only the cooling-phase trace (idle power vs
+// temperature at that state).
+func (c *Chip) HeatCool(vf arch.VFState, heatS, coolS float64) (*trace.Trace, error) {
+	if err := c.SetAllPStates(c.cfg.Topology.VF.Top()); err != nil {
+		return nil, err
+	}
+	c.UnbindAll()
+	// Heat with a steady all-core load.
+	heater := workload.Run{Name: "heater", Suite: "micro"}
+	heater.Members = append(heater.Members, workload.Member{
+		Bench: workload.BenchA(), Threads: c.cfg.Topology.NumCores(),
+	})
+	if _, err := c.PlaceRun(heater, PlaceCompact, true); err != nil {
+		return nil, err
+	}
+	for t := 0.0; t < heatS; t += TickS {
+		c.Tick()
+	}
+	c.UnbindAll()
+	c.ReadInterval() // discard the heating interval
+
+	// Cool while idle at the requested state.
+	if err := c.SetAllPStates(vf); err != nil {
+		return nil, err
+	}
+	tr := &trace.Trace{Run: fmt.Sprintf("heatcool-%v", vf), Suite: "micro", Platform: c.cfg.Topology.Name}
+	ticks := int(coolS / TickS)
+	for i := 0; i < ticks; i++ {
+		c.Tick()
+		if (i+1)%arch.DecisionIntervalMS == 0 {
+			tr.Intervals = append(tr.Intervals, c.ReadInterval())
+		}
+	}
+	return tr, nil
+}

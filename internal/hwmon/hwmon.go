@@ -1,0 +1,29 @@
+// Package hwmon emulates the sysfs hwmon temperature path the paper reads
+// for the socket thermal diode (Section II): values are reported in
+// millidegrees Celsius, as `temp1_input` does on Linux.
+package hwmon
+
+import "ppep/internal/fxsim"
+
+// KelvinOffset converts between kelvin and Celsius.
+const KelvinOffset = 273.15
+
+// Sensor is the socket thermal diode read path.
+type Sensor struct {
+	chip *fxsim.Chip
+}
+
+// Open attaches to the chip's thermal diode.
+func Open(chip *fxsim.Chip) *Sensor { return &Sensor{chip: chip} }
+
+// Temp1InputMilliC returns the diode value in millidegrees Celsius, the
+// raw sysfs representation.
+func (s *Sensor) Temp1InputMilliC() int64 {
+	return int64((s.chip.TempK() - KelvinOffset) * 1000)
+}
+
+// TempK returns the diode value converted back to kelvin, as the PPEP
+// daemon consumes it.
+func (s *Sensor) TempK() float64 {
+	return float64(s.Temp1InputMilliC())/1000 + KelvinOffset
+}

@@ -1,0 +1,36 @@
+package hwmon
+
+import (
+	"math"
+	"testing"
+
+	"ppep/internal/fxsim"
+)
+
+func TestTempReadPath(t *testing.T) {
+	cfg := fxsim.DefaultFX8320Config()
+	chip := fxsim.New(cfg)
+	s := Open(chip)
+
+	chip.SetTempK(320.0)
+	milli := s.Temp1InputMilliC()
+	wantMilli := int64((320.0 - KelvinOffset) * 1000)
+	if milli != wantMilli {
+		t.Errorf("temp1_input = %d, want %d", milli, wantMilli)
+	}
+	if math.Abs(s.TempK()-320.0) > 0.001 {
+		t.Errorf("TempK = %v", s.TempK())
+	}
+}
+
+func TestQuantizationMatchesSysfs(t *testing.T) {
+	cfg := fxsim.DefaultFX8320Config()
+	chip := fxsim.New(cfg)
+	s := Open(chip)
+	chip.SetTempK(315.6789)
+	// The chip's diode path quantizes to millikelvin; the hwmon read
+	// must be stable and close.
+	if math.Abs(s.TempK()-315.6789) > 0.01 {
+		t.Errorf("TempK = %v", s.TempK())
+	}
+}

@@ -1,0 +1,130 @@
+// Package msr emulates the model-specific-register interface the paper
+// uses to program performance counters and control P-states (msr-tools,
+// Section II). Register addresses follow the AMD family-15h layout:
+//
+//	0xC0010062          P-state Control (write the target P-state index)
+//	0xC0010063          P-state Status (current P-state index)
+//	0xC0010200 + 2·i    PERF_CTL[i], i = 0..5 (event select)
+//	0xC0010201 + 2·i    PERF_CTR[i], i = 0..5 (counter value)
+//
+// AMD P-state indices count down from the fastest state: P0 is the top VF
+// state, P(n−1) the lowest. The device maps them onto the simulator's
+// VF1..VFn numbering.
+package msr
+
+import (
+	"fmt"
+
+	"ppep/internal/arch"
+	"ppep/internal/fxsim"
+	"ppep/internal/pmc"
+)
+
+// Register addresses.
+const (
+	PStateControl = 0xC0010062
+	PStateStatus  = 0xC0010063
+	PerfCtlBase   = 0xC0010200
+	PerfCtrBase   = 0xC0010201
+)
+
+// PerfCtl returns the event-select register address for a counter slot.
+func PerfCtl(slot int) uint32 { return PerfCtlBase + 2*uint32(slot) }
+
+// PerfCtr returns the counter register address for a counter slot.
+func PerfCtr(slot int) uint32 { return PerfCtrBase + 2*uint32(slot) }
+
+// The enable bit of a PERF_CTL value (bit 22 on family 15h).
+const CtlEnable = 1 << 22
+
+// EncodeCtl builds a PERF_CTL value for a Table I event code with the
+// enable bit set. Family 15h splits the event select across bits [7:0]
+// and [35:32]; all Table I codes fit in 12 bits.
+func EncodeCtl(code uint16) uint64 {
+	lo := uint64(code) & 0xFF
+	hi := (uint64(code) >> 8) & 0xF
+	return lo | hi<<32 | CtlEnable
+}
+
+// DecodeCtl extracts the event code and enable flag from a PERF_CTL value.
+func DecodeCtl(v uint64) (code uint16, enabled bool) {
+	code = uint16(v&0xFF) | uint16((v>>32)&0xF)<<8
+	return code, v&CtlEnable != 0
+}
+
+// Device is the per-core MSR access surface over a simulated chip. It is
+// the software-visible path PPEP's sampler uses; the chip must have
+// counter files enabled.
+type Device struct {
+	chip *fxsim.Chip
+}
+
+// Open attaches an MSR device to the chip, enabling its register-level
+// counter files.
+func Open(chip *fxsim.Chip) *Device {
+	chip.EnableCounterFiles()
+	return &Device{chip: chip}
+}
+
+// Rdmsr reads a register on a core.
+func (d *Device) Rdmsr(core int, addr uint32) (uint64, error) {
+	cf := d.chip.CounterFile(core)
+	if cf == nil {
+		return 0, fmt.Errorf("msr: core %d out of range", core)
+	}
+	switch {
+	case addr == PStateStatus || addr == PStateControl:
+		cu := d.chip.Topology().CUOf(core)
+		top := d.chip.VFTable().Top()
+		return uint64(int(top) - int(d.chip.PState(cu))), nil
+	case isCtl(addr):
+		// Event selects are write-mostly; reads return zero as a real
+		// tool would rarely depend on them. Kept simple deliberately.
+		return 0, nil
+	case isCtr(addr):
+		return cf.Read(ctrSlot(addr))
+	default:
+		return 0, fmt.Errorf("msr: unmapped register %#x", addr)
+	}
+}
+
+// Wrmsr writes a register on a core.
+func (d *Device) Wrmsr(core int, addr uint32, val uint64) error {
+	cf := d.chip.CounterFile(core)
+	if cf == nil {
+		return fmt.Errorf("msr: core %d out of range", core)
+	}
+	switch {
+	case addr == PStateControl:
+		tbl := d.chip.VFTable()
+		idx := int(val)
+		if idx < 0 || idx >= len(tbl) {
+			return fmt.Errorf("msr: P-state index %d out of range", idx)
+		}
+		vf := arch.VFState(int(tbl.Top()) - idx)
+		return d.chip.SetPState(d.chip.Topology().CUOf(core), vf)
+	case addr == PStateStatus:
+		return fmt.Errorf("msr: P-state status is read-only")
+	case isCtl(addr):
+		code, enabled := DecodeCtl(val)
+		if !enabled {
+			code = 0xFFFF // disable slot
+		}
+		return cf.Program(ctlSlot(addr), code)
+	case isCtr(addr):
+		return cf.Write(ctrSlot(addr), val)
+	default:
+		return fmt.Errorf("msr: unmapped register %#x", addr)
+	}
+}
+
+func isCtl(addr uint32) bool {
+	return addr >= PerfCtlBase && addr < PerfCtlBase+2*pmc.CountersPerCore && (addr-PerfCtlBase)%2 == 0
+}
+
+func isCtr(addr uint32) bool {
+	return addr >= PerfCtrBase && addr < PerfCtrBase+2*pmc.CountersPerCore && (addr-PerfCtrBase)%2 == 0
+}
+
+func ctlSlot(addr uint32) int { return int(addr-PerfCtlBase) / 2 }
+func ctrSlot(addr uint32) int { return int(addr-PerfCtrBase) / 2 }

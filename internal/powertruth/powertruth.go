@@ -1,0 +1,246 @@
+// Package powertruth is the simulated chip's physical power model — the
+// hidden ground truth that PPEP's estimators must learn from measurements.
+//
+// It is deliberately richer than PPEP's nine-event linear model (Eq. 3):
+//
+//   - switching energy scales as V²·(1+κ·(V−Vref)), not a clean (V/V5)^α;
+//   - clock-tree/pipeline-clocking power is proportional to unhalted
+//     cycles, which is not one of PPEP's nine inputs;
+//   - prefetch and TLB-walk activity burn power but are invisible to any
+//     counter;
+//   - leakage is exponential in both voltage and temperature, while
+//     PPEP's idle model is linear in T with polynomial-in-V coefficients;
+//   - the NB's DRAM energy depends on the L3 miss ratio, which no
+//     per-core event separates from L3 hits.
+//
+// The gap between this truth and PPEP's model structure is what produces
+// honest, non-zero validation errors, as on real silicon.
+package powertruth
+
+import (
+	"math"
+
+	"ppep/internal/arch"
+)
+
+// Activity is one core's true activity during a time slice, in events per
+// second (not per instruction).
+type Activity struct {
+	Events     arch.EventVec // true per-second rates for E1..E12
+	PrefetchPS float64       // unobservable: prefetches per second
+	TLBWalkPS  float64       // unobservable: table walks per second
+	// EPIScale is a hidden per-phase energy-per-event modulation (≈1):
+	// real programs exercise different functional-unit mixes that no
+	// nine-event model can separate. Zero means 1.
+	EPIScale float64
+	Halted   bool // core idle (no workload bound)
+}
+
+// NBActivity is the shared north bridge's true activity per second.
+type NBActivity struct {
+	L3AccessPS float64 // L3 lookups (hits+misses from all cores)
+	DRAMPS     float64 // DRAM accesses
+}
+
+// Config holds the physical constants of the simulated chip. All switching
+// energies are in nanojoules at VRef; leakage parameters are referenced to
+// (VRef, T0K).
+type Config struct {
+	VRef float64 // core voltage reference (VF5 voltage)
+
+	// Per-event switching energy (nJ) for the observable core events
+	// E1..E8 (E9, dispatch stalls, burns only clock power).
+	EventNJ [8]float64
+	// StallNJ is the energy per dispatch-stall cycle (clock+idle pipeline).
+	StallNJ float64
+	// PrefetchNJ and TLBWalkNJ are the unobservable activities' energies.
+	PrefetchNJ, TLBWalkNJ float64
+	// ClockWPerGHz is active clock-tree power per core per GHz at VRef.
+	ClockWPerGHz float64
+	// HaltedClockFrac is the fraction of clock power that survives clock
+	// gating when a core is halted.
+	HaltedClockFrac float64
+	// ShortCircuitK is κ in the V²·(1+κ(V−VRef)) switching-energy scale.
+	ShortCircuitK float64
+
+	// Leakage.
+	CULeakW   float64 // per-CU leakage at (VRef, T0K)
+	NBLeakW   float64 // NB leakage at (NBVRef, T0K)
+	BaseW     float64 // un-gateable base power (I/O, PLLs); VF-independent
+	LeakVExp  float64 // 1/V exponential slope of leakage vs core voltage
+	LeakTExp  float64 // 1/K exponential slope of leakage vs temperature
+	T0K       float64
+	GateResid float64 // leakage fraction surviving power gating
+
+	// NB dynamic.
+	NBVRef         float64
+	L3AccessNJ     float64
+	DRAMAccessNJ   float64
+	NBClockWPerGHz float64
+
+	// HousekeepingW is the OS background dynamic power at (VRef, top
+	// frequency); it scales with V²f and exists whenever the chip is not
+	// fully gated. It is invisible to the benchmark's counters — exactly
+	// the "active idle dynamic power" the paper folds into idle power.
+	HousekeepingW float64
+}
+
+// DefaultFX8320 returns the physical constants tuned for the FX-8320
+// platform: ≈105 W chip power under full FP load at VF5, ≈33 W active
+// idle at VF5, ≈11 W active idle at VF1 — in line with the paper's traces.
+func DefaultFX8320() *Config {
+	return &Config{
+		VRef: 1.320,
+		// One fully-loaded Piledriver core draws 15–20 W at VF5 — the
+		// Figure 7 trace shows ≈100 W with four busy cores. The energies
+		// below reproduce that (≈4 nJ per instruction at a typical mix).
+		EventNJ: [8]float64{
+			1.30, // E1 retired uop: scheduler+ALU+retire
+			2.60, // E2 FPU pipe op
+			0.90, // E3 icache fetch
+			1.45, // E4 dcache access
+			6.00, // E5 L2 request
+			0.30, // E6 branch
+			16.5, // E7 mispredict flush
+			8.30, // E8 L2 miss (core-side NB interface)
+		},
+		StallNJ:         0.19,
+		PrefetchNJ:      9.0,
+		TLBWalkNJ:       12.0,
+		ClockWPerGHz:    1.50,
+		HaltedClockFrac: 0.12,
+		ShortCircuitK:   0.40,
+
+		CULeakW:   6.0,
+		NBLeakW:   3.2,
+		BaseW:     1.2,
+		LeakVExp:  3.3,
+		LeakTExp:  0.011,
+		T0K:       330,
+		GateResid: 0.04,
+
+		NBVRef:         1.175,
+		L3AccessNJ:     10.0,
+		DRAMAccessNJ:   90.0,
+		NBClockWPerGHz: 1.3,
+
+		HousekeepingW: 0.9,
+	}
+}
+
+// DefaultPhenomII returns constants for the secondary platform (45 nm,
+// higher leakage slope, no power gating, smaller L3).
+func DefaultPhenomII() *Config {
+	c := DefaultFX8320()
+	c.VRef = 1.350
+	c.CULeakW = 4.0 // per core (Phenom "CUs" are single cores)
+	c.NBLeakW = 3.6
+	c.LeakVExp = 3.0
+	c.LeakTExp = 0.010
+	c.ClockWPerGHz = 1.10
+	c.NBVRef = 1.200
+	return c
+}
+
+// switchScale is the voltage scaling of switching energy.
+func (c *Config) switchScale(v float64) float64 {
+	r := v / c.VRef
+	return r * r * (1 + c.ShortCircuitK*(v-c.VRef))
+}
+
+// CoreDynamicW returns one core's true dynamic power at voltage v and
+// frequency fGHz given its activity.
+func (c *Config) CoreDynamicW(a Activity, v, fGHz float64) float64 {
+	scale := c.switchScale(v)
+	clock := c.ClockWPerGHz * fGHz * (v / c.VRef) * (v / c.VRef)
+	if a.Halted {
+		return clock * c.HaltedClockFrac
+	}
+	var nj float64
+	for i := 0; i < 8; i++ {
+		nj += c.EventNJ[i] * a.Events[i]
+	}
+	nj += c.StallNJ * a.Events.Get(arch.DispatchStalls)
+	nj += c.PrefetchNJ * a.PrefetchPS
+	nj += c.TLBWalkNJ * a.TLBWalkPS
+	epi := a.EPIScale
+	if epi == 0 {
+		epi = 1
+	}
+	// nJ/s = nW; convert to W.
+	return nj*1e-9*scale*epi + clock
+}
+
+// NBDynamicW returns the NB's true dynamic power at NB voltage nbV and
+// frequency nbF.
+func (c *Config) NBDynamicW(nb NBActivity, nbV, nbF float64) float64 {
+	r := nbV / c.NBVRef
+	scale := r * r
+	clock := c.NBClockWPerGHz * nbF * scale
+	nj := c.L3AccessNJ*nb.L3AccessPS + c.DRAMAccessNJ*nb.DRAMPS
+	return nj*1e-9*scale + clock
+}
+
+// CULeakageW returns one compute unit's leakage at core voltage v and
+// temperature tK. Gated CUs retain GateResid of their leakage.
+func (c *Config) CULeakageW(v, tK float64, gated bool) float64 {
+	w := c.CULeakW * math.Exp(c.LeakVExp*(v-c.VRef)) * math.Exp(c.LeakTExp*(tK-c.T0K))
+	if gated {
+		w *= c.GateResid
+	}
+	return w
+}
+
+// NBLeakageW returns the NB's leakage at its voltage and temperature.
+func (c *Config) NBLeakageW(nbV, tK float64, gated bool) float64 {
+	w := c.NBLeakW * math.Exp(c.LeakVExp*(nbV-c.NBVRef)) * math.Exp(c.LeakTExp*(tK-c.T0K))
+	if gated {
+		w *= c.GateResid
+	}
+	return w
+}
+
+// HousekeepingDynW returns the OS background power at core voltage v and
+// frequency fGHz (relative to the chip's top frequency fTop).
+func (c *Config) HousekeepingDynW(v, fGHz, fTop float64) float64 {
+	r := v / c.VRef
+	return c.HousekeepingW * r * r * (fGHz / fTop)
+}
+
+// Breakdown is the per-component decomposition of one tick's chip power.
+type Breakdown struct {
+	CoreDynW []float64 // per core
+	CULeakW  []float64 // per CU
+	NBDynW   float64
+	NBLeakW  float64
+	BaseW    float64
+	HousekW  float64
+}
+
+// TotalW sums the breakdown.
+func (b *Breakdown) TotalW() float64 {
+	t := b.NBDynW + b.NBLeakW + b.BaseW + b.HousekW
+	for _, w := range b.CoreDynW {
+		t += w
+	}
+	for _, w := range b.CULeakW {
+		t += w
+	}
+	return t
+}
+
+// CoreTotalW returns the "core side" share: core dynamic + CU leakage +
+// housekeeping. Used by the Figure 10/11 core-vs-NB energy split.
+func (b *Breakdown) CoreTotalW() float64 {
+	t := b.HousekW
+	for _, w := range b.CoreDynW {
+		t += w
+	}
+	for _, w := range b.CULeakW {
+		t += w
+	}
+	return t
+}
+
+// NBTotalW returns the NB share: NB dynamic + NB leakage + base.
+func (b *Breakdown) NBTotalW() float64 { return b.NBDynW + b.NBLeakW + b.BaseW }

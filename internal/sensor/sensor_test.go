@@ -1,0 +1,77 @@
+package sensor
+
+import (
+	"math"
+	"testing"
+)
+
+func TestIdealIsIdentityAboveZero(t *testing.T) {
+	s := Ideal()
+	for _, w := range []float64{0, 1.5, 42.42, 130} {
+		if got := s.Sample(w); got != w {
+			t.Errorf("Sample(%v) = %v", w, got)
+		}
+	}
+}
+
+func TestVRMLossScalesUp(t *testing.T) {
+	s := New(0.9, 0, 0, 1)
+	if got := s.Sample(90); math.Abs(got-100) > 1e-9 {
+		t.Errorf("Sample(90) = %v, want 100", got)
+	}
+}
+
+func TestQuantization(t *testing.T) {
+	s := New(1, 0, 0.5, 1)
+	if got := s.Sample(10.2); got != 10.0 {
+		t.Errorf("Sample(10.2) = %v, want 10.0", got)
+	}
+	if got := s.Sample(10.3); got != 10.5 {
+		t.Errorf("Sample(10.3) = %v, want 10.5", got)
+	}
+}
+
+func TestNoiseStatistics(t *testing.T) {
+	s := New(1, 0.35, 0, 7)
+	const n = 20000
+	var sum, sq float64
+	for i := 0; i < n; i++ {
+		r := s.Sample(50)
+		sum += r
+		sq += (r - 50) * (r - 50)
+	}
+	mean := sum / n
+	sd := math.Sqrt(sq / n)
+	if math.Abs(mean-50) > 0.02 {
+		t.Errorf("mean %v, want ≈50", mean)
+	}
+	if math.Abs(sd-0.35) > 0.03 {
+		t.Errorf("sd %v, want ≈0.35", sd)
+	}
+}
+
+func TestNeverNegative(t *testing.T) {
+	s := New(1, 5, 0, 3)
+	for i := 0; i < 1000; i++ {
+		if got := s.Sample(0.1); got < 0 {
+			t.Fatalf("negative reading %v", got)
+		}
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	a := Default(99)
+	b := Default(99)
+	for i := 0; i < 100; i++ {
+		if a.Sample(60) != b.Sample(60) {
+			t.Fatal("same seed produced different readings")
+		}
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	s := Default(1)
+	if s.VRMEfficiency != 0.92 || s.NoiseSD != 0.8 || s.QuantW != 0.4 {
+		t.Errorf("unexpected default config %+v", s)
+	}
+}

@@ -1,0 +1,63 @@
+package stats
+
+import "math/rand"
+
+// Fold is one cross-validation split: indices of training and test items.
+type Fold struct {
+	Train []int
+	Test  []int
+}
+
+// KFold splits n items into k folds for cross-validation, shuffled with
+// the given seed so splits are reproducible. The paper divides its 152
+// benchmark combinations into four equal sets and trains on three
+// (Section IV-B2).
+func KFold(n, k int, seed int64) []Fold {
+	if k < 2 {
+		k = 2
+	}
+	if k > n {
+		k = n
+	}
+	perm := rand.New(rand.NewSource(seed)).Perm(n)
+	folds := make([]Fold, k)
+	// Deal indices round-robin so fold sizes differ by at most one.
+	buckets := make([][]int, k)
+	for i, idx := range perm {
+		buckets[i%k] = append(buckets[i%k], idx)
+	}
+	for f := 0; f < k; f++ {
+		folds[f].Test = buckets[f]
+		for g := 0; g < k; g++ {
+			if g != f {
+				folds[f].Train = append(folds[f].Train, buckets[g]...)
+			}
+		}
+	}
+	return folds
+}
+
+// GoldenSection minimizes f over [a, b] by golden-section search and
+// returns the minimizing x. Used to calibrate the voltage-scaling exponent
+// α of Eq. 3 against measured power.
+func GoldenSection(f func(float64) float64, a, b float64, iters int) float64 {
+	const phi = 0.6180339887498949 // (√5-1)/2
+	if iters <= 0 {
+		iters = 60
+	}
+	x1 := b - phi*(b-a)
+	x2 := a + phi*(b-a)
+	f1, f2 := f(x1), f(x2)
+	for i := 0; i < iters; i++ {
+		if f1 < f2 {
+			b, x2, f2 = x2, x1, f1
+			x1 = b - phi*(b-a)
+			f1 = f(x1)
+		} else {
+			a, x1, f1 = x1, x2, f2
+			x2 = a + phi*(b-a)
+			f2 = f(x2)
+		}
+	}
+	return (a + b) / 2
+}

@@ -1,0 +1,117 @@
+// Package stats provides the from-scratch numerical machinery used to
+// train and evaluate the PPEP models: ordinary least squares regression,
+// polynomial fitting, k-fold cross-validation splits, absolute-error
+// summaries, and scalar minimization. Only the standard library is used.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a linear system has no unique solution.
+var ErrSingular = errors.New("stats: singular system")
+
+// SolveSPD solves A·x = b for a symmetric positive-definite matrix A using
+// Cholesky decomposition. A is given in row-major order (n×n) and is not
+// modified. Used for least-squares normal equations.
+func SolveSPD(a []float64, b []float64) ([]float64, error) {
+	n := len(b)
+	if len(a) != n*n {
+		return nil, fmt.Errorf("stats: matrix size %d does not match rhs length %d", len(a), n)
+	}
+	// Cholesky: A = L·Lᵀ.
+	l := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a[i*n+j]
+			for k := 0; k < j; k++ {
+				sum -= l[i*n+k] * l[j*n+k]
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, ErrSingular
+				}
+				l[i*n+i] = math.Sqrt(sum)
+			} else {
+				l[i*n+j] = sum / l[j*n+j]
+			}
+		}
+	}
+	// Forward substitution: L·y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= l[i*n+k] * y[k]
+		}
+		y[i] = sum / l[i*n+i]
+	}
+	// Back substitution: Lᵀ·x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := y[i]
+		for k := i + 1; k < n; k++ {
+			sum -= l[k*n+i] * x[k]
+		}
+		x[i] = sum / l[i*n+i]
+	}
+	return x, nil
+}
+
+// Solve solves a general square system A·x = b by Gaussian elimination
+// with partial pivoting. A and b are not modified.
+func Solve(a []float64, b []float64) ([]float64, error) {
+	n := len(b)
+	if len(a) != n*n {
+		return nil, fmt.Errorf("stats: matrix size %d does not match rhs length %d", len(a), n)
+	}
+	// Work on copies.
+	m := make([]float64, n*n)
+	copy(m, a)
+	rhs := make([]float64, n)
+	copy(rhs, b)
+
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		best := math.Abs(m[col*n+col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(m[r*n+col]); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best == 0 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			for k := 0; k < n; k++ {
+				m[col*n+k], m[pivot*n+k] = m[pivot*n+k], m[col*n+k]
+			}
+			rhs[col], rhs[pivot] = rhs[pivot], rhs[col]
+		}
+		// Eliminate below.
+		inv := 1 / m[col*n+col]
+		for r := col + 1; r < n; r++ {
+			f := m[r*n+col] * inv
+			if f == 0 {
+				continue
+			}
+			for k := col; k < n; k++ {
+				m[r*n+k] -= f * m[col*n+k]
+			}
+			rhs[r] -= f * rhs[col]
+		}
+	}
+	// Back substitution.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := rhs[i]
+		for k := i + 1; k < n; k++ {
+			sum -= m[i*n+k] * x[k]
+		}
+		x[i] = sum / m[i*n+i]
+	}
+	return x, nil
+}

@@ -1,0 +1,39 @@
+package stats
+
+// Poly is a polynomial c₀ + c₁x + c₂x² + … with coefficients in ascending
+// degree order. The paper uses third-order polynomials of voltage for the
+// idle power model's temperature coefficients (Eq. 2).
+type Poly []float64
+
+// Eval evaluates the polynomial at x using Horner's rule.
+func (p Poly) Eval(x float64) float64 {
+	y := 0.0
+	for i := len(p) - 1; i >= 0; i-- {
+		y = y*x + p[i]
+	}
+	return y
+}
+
+// Degree returns the polynomial degree (len-1), or -1 for an empty
+// polynomial.
+func (p Poly) Degree() int { return len(p) - 1 }
+
+// FitPoly fits a polynomial of the given degree to the points (xs, ys) by
+// least squares. degree+1 coefficients are returned.
+func FitPoly(xs, ys []float64, degree int) (Poly, error) {
+	feats := make([][]float64, len(xs))
+	for i, x := range xs {
+		row := make([]float64, degree+1)
+		v := 1.0
+		for d := 0; d <= degree; d++ {
+			row[d] = v
+			v *= x
+		}
+		feats[i] = row
+	}
+	m, err := OLS(feats, ys)
+	if err != nil {
+		return nil, err
+	}
+	return Poly(m.Weights), nil
+}

@@ -1,0 +1,142 @@
+package stats
+
+import "math"
+
+// ErrorSummary aggregates absolute percentage errors the way the paper
+// reports them: the average absolute error (AAE) and the standard
+// deviation of the absolute errors.
+type ErrorSummary struct {
+	N    int
+	Mean float64 // average absolute error
+	SD   float64 // standard deviation of the absolute errors
+	Max  float64
+}
+
+// SummarizeAbsErrors computes an ErrorSummary over a slice of absolute
+// (non-negative) errors.
+func SummarizeAbsErrors(errs []float64) ErrorSummary {
+	var s ErrorSummary
+	if len(errs) == 0 {
+		return s
+	}
+	s.N = len(errs)
+	for _, e := range errs {
+		if e < 0 {
+			e = -e
+		}
+		s.Mean += e
+		if e > s.Max {
+			s.Max = e
+		}
+	}
+	s.Mean /= float64(s.N)
+	for _, e := range errs {
+		if e < 0 {
+			e = -e
+		}
+		d := e - s.Mean
+		s.SD += d * d
+	}
+	s.SD = math.Sqrt(s.SD / float64(s.N))
+	return s
+}
+
+// AbsPctErr returns |est-meas|/|meas|. A zero measurement yields zero to
+// keep idle-adjacent intervals from polluting summaries.
+func AbsPctErr(est, meas float64) float64 {
+	if meas == 0 {
+		return 0
+	}
+	e := (est - meas) / meas
+	if e < 0 {
+		e = -e
+	}
+	return e
+}
+
+// Running accumulates a streaming mean and variance (Welford's
+// algorithm). The zero value is ready to use.
+type Running struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds x into the accumulator.
+func (r *Running) Add(x float64) {
+	r.n++
+	if r.n == 1 {
+		r.min, r.max = x, x
+	} else {
+		if x < r.min {
+			r.min = x
+		}
+		if x > r.max {
+			r.max = x
+		}
+	}
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// N returns the number of samples added.
+func (r *Running) N() int { return r.n }
+
+// Mean returns the sample mean (zero before any Add).
+func (r *Running) Mean() float64 { return r.mean }
+
+// Var returns the population variance.
+func (r *Running) Var() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return r.m2 / float64(r.n)
+}
+
+// SD returns the population standard deviation.
+func (r *Running) SD() float64 { return math.Sqrt(r.Var()) }
+
+// Min returns the smallest sample (zero before any Add).
+func (r *Running) Min() float64 { return r.min }
+
+// Max returns the largest sample (zero before any Add).
+func (r *Running) Max() float64 { return r.max }
+
+// Mean returns the arithmetic mean of xs (zero for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Pearson returns the Pearson correlation coefficient of two equal-length
+// series (zero for degenerate inputs). Used to reproduce the paper's
+// event-selection rationale: the nine Table I power events are the ones
+// "highly correlated to dynamic power" (Section IV-B1).
+func Pearson(xs, ys []float64) float64 {
+	n := len(xs)
+	if n == 0 || n != len(ys) {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx := xs[i] - mx
+		dy := ys[i] - my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}

@@ -1,0 +1,72 @@
+// Package thermal models the package/heatsink thermal path of the
+// simulated processor as a lumped RC node. The paper's idle power model
+// (Section IV-A) is trained on exactly the transient this model produces:
+// heat the chip under load, cut the load, and record power and the socket
+// thermal diode while it cools (Figure 1).
+package thermal
+
+import "math"
+
+// Model is a single-node RC thermal model: a heat capacity Cth coupled to
+// ambient through resistance Rth. dT/dt = (P − (T−Tamb)/Rth) / Cth.
+type Model struct {
+	// CthJPerK is the lumped heat capacity of die + spreader + sink.
+	CthJPerK float64
+	// RthKPerW is the junction-to-ambient thermal resistance.
+	RthKPerW float64
+	// AmbientK is the ambient (intake air) temperature.
+	AmbientK float64
+
+	tempK float64
+}
+
+// DefaultFX8320 returns the thermal model used for the FX-8320 platform:
+// a tower-cooler class sink with a ~60 s time constant, reaching roughly
+// +35 K over ambient at ~110 W — consistent with the 300→335 K swing in
+// Figure 1.
+func DefaultFX8320() *Model {
+	return New(190, 0.32, 300)
+}
+
+// New builds a model at thermal equilibrium with ambient.
+func New(cth, rth, ambientK float64) *Model {
+	return &Model{CthJPerK: cth, RthKPerW: rth, AmbientK: ambientK, tempK: ambientK}
+}
+
+// Step advances the node by dt seconds under powerW watts of dissipation.
+// It uses the exact exponential solution of the linear ODE over the step,
+// so large steps remain stable.
+func (m *Model) Step(powerW, dt float64) {
+	if dt <= 0 {
+		return
+	}
+	// Steady state for this power level.
+	tss := m.AmbientK + powerW*m.RthKPerW
+	tau := m.RthKPerW * m.CthJPerK
+	// T(t+dt) = Tss + (T−Tss)·e^(−dt/τ)
+	m.tempK = tss + (m.tempK-tss)*expNeg(dt/tau)
+}
+
+// TempK returns the current junction temperature in kelvin.
+func (m *Model) TempK() float64 { return m.tempK }
+
+// SetTempK forces the node temperature (used to start experiments from a
+// known thermal state).
+func (m *Model) SetTempK(t float64) { m.tempK = t }
+
+// SteadyTempK returns the equilibrium temperature at the given power.
+func (m *Model) SteadyTempK(powerW float64) float64 {
+	return m.AmbientK + powerW*m.RthKPerW
+}
+
+// TimeConstantS returns the RC time constant in seconds.
+func (m *Model) TimeConstantS() float64 { return m.RthKPerW * m.CthJPerK }
+
+// expNeg computes e^(−x) for x ≥ 0, clamping negative inputs to zero so
+// Step never amplifies the distance to steady state.
+func expNeg(x float64) float64 {
+	if x < 0 {
+		x = 0
+	}
+	return math.Exp(-x)
+}

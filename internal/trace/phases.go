@@ -1,0 +1,49 @@
+package trace
+
+import (
+	"math"
+
+	"ppep/internal/arch"
+)
+
+// PhaseChangeScore quantifies how violently a trace's counter signature
+// moves between consecutive intervals: the mean across interval pairs of
+// the relative change in per-instruction E1–E8 rates. Steady programs
+// score near zero; programs whose phases flip faster than the counter
+// multiplexing window (the paper's dedup, IS, DC outliers) score high.
+func PhaseChangeScore(t *Trace) float64 {
+	var prev [8]float64
+	havePrev := false
+	var sum float64
+	var n int
+	for _, iv := range t.Intervals {
+		rates := iv.TotalRates()
+		inst := rates.Get(arch.RetiredInstructions)
+		if inst <= 0 {
+			havePrev = false
+			continue
+		}
+		var cur [8]float64
+		for i := 0; i < 8; i++ {
+			cur[i] = rates[i] / inst
+		}
+		if havePrev {
+			var d float64
+			for i := 0; i < 8; i++ {
+				ref := math.Abs(prev[i])
+				if ref < 1e-12 {
+					continue
+				}
+				d += math.Abs(cur[i]-prev[i]) / ref
+			}
+			sum += d / 8
+			n++
+		}
+		prev = cur
+		havePrev = true
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

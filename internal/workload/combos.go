@@ -1,0 +1,175 @@
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Member is one program of a benchmark combination with its thread count.
+type Member struct {
+	Bench   *Benchmark
+	Threads int
+}
+
+// Run is one "benchmark combination" in the paper's sense: the unit of the
+// 152-entry evaluation set. SPEC combinations are multi-programmed
+// (several single-threaded members); PARSEC and NPB runs are one
+// multi-threaded member.
+type Run struct {
+	Name    string
+	Suite   string // "SPE", "PAR", "NPB" — the paper's Figure 2 labels
+	Members []Member
+}
+
+// TotalThreads returns the number of hardware threads the run occupies.
+func (r Run) TotalThreads() int {
+	n := 0
+	for _, m := range r.Members {
+		n += m.Threads
+	}
+	return n
+}
+
+// String renders the run like the paper's Figure 6 axis ("400+401").
+func (r Run) String() string { return r.Name }
+
+// The SPEC CPU2006 multi-programmed combinations, straight from the
+// Figure 6 axis: 29 single, 15 double, 10 triple, and 7 quad runs = 61.
+var specComboNumbers = [][]string{
+	// 15 doubles
+	{"400", "401"}, {"403", "429"}, {"445", "456"}, {"458", "462"},
+	{"464", "471"}, {"473", "483"}, {"410", "416"}, {"433", "434"},
+	{"435", "436"}, {"437", "444"}, {"447", "450"}, {"453", "454"},
+	{"459", "465"}, {"470", "481"}, {"482", "429"},
+	// 10 triples
+	{"400", "401", "403"}, {"429", "445", "456"}, {"458", "462", "464"},
+	{"471", "473", "483"}, {"410", "416", "433"}, {"434", "435", "436"},
+	{"437", "444", "447"}, {"450", "453", "454"}, {"459", "465", "470"},
+	{"481", "482", "429"},
+	// 7 quads
+	{"400", "401", "403", "429"}, {"445", "456", "458", "462"},
+	{"464", "471", "473", "483"}, {"410", "416", "433", "434"},
+	{"435", "436", "437", "444"}, {"447", "450", "453", "454"},
+	{"459", "465", "470", "481"},
+}
+
+// SPECRuns returns the 61 SPEC combinations (29 single-programmed plus the
+// 32 multi-programmed mixes above).
+func SPECRuns() []Run {
+	var runs []Run
+	for _, b := range SPECBenchmarks() {
+		runs = append(runs, Run{
+			Name:    strings.SplitN(b.Name, ".", 2)[0],
+			Suite:   "SPE",
+			Members: []Member{{Bench: b, Threads: 1}},
+		})
+	}
+	for _, combo := range specComboNumbers {
+		r := Run{Name: strings.Join(combo, "+"), Suite: "SPE"}
+		for _, num := range combo {
+			r.Members = append(r.Members, Member{Bench: SPECByNumber(num), Threads: 1})
+		}
+		runs = append(runs, r)
+	}
+	return runs
+}
+
+// threadCounts are the thread sweeps for the multi-threaded suites.
+var threadCounts = []int{1, 2, 4, 8}
+
+// PARSECRuns returns 51 multi-threaded PARSEC runs: 13 applications × the
+// {1,2,4,8}-thread sweep, minus dedup×8 (dedup's native run is too short
+// at 8 threads to produce a usable trace — the paper reports 51 PARSEC
+// runs, not 52).
+func PARSECRuns() []Run {
+	var runs []Run
+	for _, b := range PARSECBenchmarks() {
+		for _, t := range threadCounts {
+			if b.Name == "dedup" && t == 8 {
+				continue
+			}
+			runs = append(runs, Run{
+				Name:    fmt.Sprintf("%s x%d", b.Name, t),
+				Suite:   "PAR",
+				Members: []Member{{Bench: b, Threads: t}},
+			})
+		}
+	}
+	return runs
+}
+
+// NPBRuns returns the 40 NPB runs: 10 benchmarks × the {1,2,4,8}-thread
+// sweep.
+func NPBRuns() []Run {
+	var runs []Run
+	for _, b := range NPBBenchmarks() {
+		for _, t := range threadCounts {
+			runs = append(runs, Run{
+				Name:    fmt.Sprintf("%s x%d", b.Name, t),
+				Suite:   "NPB",
+				Members: []Member{{Bench: b, Threads: t}},
+			})
+		}
+	}
+	return runs
+}
+
+// AllRuns returns the paper's full 152-combination evaluation set:
+// 61 SPEC + 51 PARSEC + 40 NPB.
+func AllRuns() []Run {
+	var runs []Run
+	runs = append(runs, SPECRuns()...)
+	runs = append(runs, PARSECRuns()...)
+	runs = append(runs, NPBRuns()...)
+	return runs
+}
+
+// MultiInstance builds the Section V runs: n concurrent instances of one
+// SPEC program ("433 x2"), each instance a separate single-threaded
+// member, as in Figures 8–11.
+func MultiInstance(num string, n int) Run {
+	r := Run{Name: fmt.Sprintf("%s x%d", num, n), Suite: "SPE"}
+	b := SPECByNumber(num)
+	for i := 0; i < n; i++ {
+		r.Members = append(r.Members, Member{Bench: b, Threads: 1})
+	}
+	return r
+}
+
+// CappingMix is the Figure 7 workload: 429.mcf, 458.sjeng, 416.gamess and
+// swaptions, one per compute unit.
+func CappingMix() Run {
+	return Run{
+		Name:  "429+458+416+swaptions",
+		Suite: "MIX",
+		Members: []Member{
+			{Bench: SPECByNumber("429"), Threads: 1},
+			{Bench: SPECByNumber("458"), Threads: 1},
+			{Bench: SPECByNumber("416"), Threads: 1},
+			{Bench: PARSECByName("swaptions"), Threads: 1},
+		},
+	}
+}
+
+// ParseRunSpec parses a command-line workload spec: "433x2" runs two
+// instances of 433.milc, "mix" is the Figure 7 capping mix, a bare SPEC
+// number ("429") runs a single instance.
+func ParseRunSpec(s string) (Run, error) {
+	if s == "mix" {
+		return CappingMix(), nil
+	}
+	num, count := s, 1
+	if i := strings.LastIndexByte(s, 'x'); i > 0 {
+		n, err := strconv.Atoi(s[i+1:])
+		if err != nil || n < 1 || n > 8 {
+			return Run{}, fmt.Errorf("workload %q: bad instance count", s)
+		}
+		num, count = s[:i], n
+	}
+	initSPEC()
+	if _, ok := specByNum[num]; !ok {
+		return Run{}, fmt.Errorf("workload %q: unknown SPEC number %q", s, num)
+	}
+	return MultiInstance(num, count), nil
+}

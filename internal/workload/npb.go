@@ -1,0 +1,73 @@
+package workload
+
+import "sync"
+
+// The 10 NAS Parallel Benchmarks (OpenMP versions, Section II). DC and IS
+// are the paper's named outliers: short runs with rapid phase changes.
+var npbSpecs = []profileSpec{
+	{name: "BT", class: Balanced, fp: true, phases: 2, gInst: 95, noise: 0.03},
+	{name: "CG", class: MemBound, fp: true, phases: 2, gInst: 60, noise: 0.04},
+	{name: "DC", class: MemBound, phases: 4, loops: 4, gInst: 12, noise: 0.18, tune: tuneDC},
+	{name: "EP", class: CPUBound, fp: true, phases: 1, gInst: 110, noise: 0.01},
+	{name: "FT", class: Balanced, fp: true, phases: 3, gInst: 80, noise: 0.05},
+	{name: "IS", class: MemBound, phases: 3, loops: 3, gInst: 10, noise: 0.15, tune: tuneIS},
+	{name: "LU", class: Balanced, fp: true, phases: 2, gInst: 90, noise: 0.04},
+	{name: "MG", class: MemBound, fp: true, phases: 2, gInst: 70, noise: 0.05},
+	{name: "SP", class: MemBound, fp: true, phases: 2, gInst: 85, noise: 0.04},
+	{name: "UA", class: Balanced, fp: true, phases: 3, gInst: 80, noise: 0.06},
+}
+
+// tuneDC gives DC the violent I/O-like phase swings the paper blames for
+// its model outliers.
+func tuneDC(b *Benchmark) {
+	for i := range b.Phases {
+		if i%2 == 0 {
+			b.Phases[i].PerInst.L2Miss = b.Phases[i].PerInst.L2Req * 0.6
+			b.Phases[i].L3MissRatio = 0.85
+			b.Phases[i].BaseCPI = 1.1
+		} else {
+			b.Phases[i].PerInst.L2Miss = b.Phases[i].PerInst.L2Req * 0.08
+			b.Phases[i].BaseCPI = 0.55
+		}
+	}
+}
+
+// tuneIS shapes IS as a short bucket-sort: bandwidth-hungry bursts.
+func tuneIS(b *Benchmark) {
+	setAll(b, func(p *Phase) {
+		p.PerInst.DCAccess = 0.58
+		p.MLP = 3.2
+	})
+	if len(b.Phases) >= 2 {
+		b.Phases[1].PerInst.L2Miss = b.Phases[1].PerInst.L2Req * 0.55
+		b.Phases[1].L3MissRatio = 0.9
+	}
+}
+
+var (
+	npbOnce sync.Once
+	npbList []*Benchmark
+)
+
+// NPBBenchmarks returns the 10 NPB profiles.
+func NPBBenchmarks() []*Benchmark {
+	npbOnce.Do(func() {
+		for _, s := range npbSpecs {
+			s.suite = "NPB"
+			npbList = append(npbList, build(s))
+		}
+	})
+	out := make([]*Benchmark, len(npbList))
+	copy(out, npbList)
+	return out
+}
+
+// NPBByName returns the named NPB profile, panicking if unknown.
+func NPBByName(name string) *Benchmark {
+	for _, b := range NPBBenchmarks() {
+		if b.Name == name {
+			return b
+		}
+	}
+	panic("workload: unknown NPB benchmark " + name)
+}

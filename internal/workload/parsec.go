@@ -1,0 +1,77 @@
+package workload
+
+import "sync"
+
+// The 13 PARSEC 2.1 applications, run multi-threaded with the "native"
+// inputs (Section II). swaptions is featured in the paper's power-capping
+// mix; dedup is one of the named outliers (short run, rapid phases).
+var parsecSpecs = []profileSpec{
+	{name: "blackscholes", class: CPUBound, fp: true, phases: 1, gInst: 80, noise: 0.02},
+	{name: "bodytrack", class: CPUBound, fp: true, phases: 3, gInst: 70, noise: 0.06},
+	{name: "canneal", class: MemBound, phases: 2, gInst: 55, noise: 0.07},
+	{name: "dedup", class: Balanced, phases: 4, loops: 3, gInst: 14, noise: 0.16, tune: tuneDedup},
+	{name: "facesim", class: Balanced, fp: true, phases: 3, gInst: 85, noise: 0.05},
+	{name: "ferret", class: Balanced, phases: 4, gInst: 75, noise: 0.08},
+	{name: "fluidanimate", class: Balanced, fp: true, phases: 2, gInst: 90, noise: 0.04},
+	{name: "freqmine", class: Balanced, phases: 3, gInst: 80, noise: 0.06},
+	{name: "raytrace", class: CPUBound, fp: true, phases: 2, gInst: 95, noise: 0.04},
+	{name: "streamcluster", class: MemBound, fp: true, phases: 2, gInst: 65, noise: 0.05},
+	{name: "swaptions", class: CPUBound, fp: true, phases: 1, gInst: 100, noise: 0.02, tune: tuneSwaptions},
+	{name: "vips", class: Balanced, phases: 3, gInst: 75, noise: 0.06},
+	{name: "x264", class: Balanced, phases: 4, loops: 2, gInst: 70, noise: 0.09},
+}
+
+// tuneSwaptions pins swaptions as pure compute (Monte-Carlo pricing):
+// cache-resident, FP-heavy, very steady.
+func tuneSwaptions(b *Benchmark) {
+	setAll(b, func(p *Phase) {
+		p.BaseCPI = 0.50
+		p.PerInst.FPU = 0.65
+		p.PerInst.L2Req = 0.005
+		p.PerInst.L2Miss = 0.0004
+		p.L3MissRatio = 0.15
+		p.MLP = 1.1
+	})
+}
+
+// tuneDedup exaggerates phase contrast: dedup's pipeline stages
+// (chunk/compress/write) alternate quickly, which the paper identifies as
+// a source of counter-multiplexing error.
+func tuneDedup(b *Benchmark) {
+	if len(b.Phases) >= 4 {
+		b.Phases[0].PerInst.L2Miss = b.Phases[0].PerInst.L2Req * 0.55
+		b.Phases[0].L3MissRatio = 0.8
+		b.Phases[1].PerInst.L2Miss = b.Phases[1].PerInst.L2Req * 0.05
+		b.Phases[1].BaseCPI = 0.5
+		b.Phases[2].PerInst.L2Miss = b.Phases[2].PerInst.L2Req * 0.45
+		b.Phases[3].BaseCPI = 1.0
+	}
+}
+
+var (
+	parsecOnce sync.Once
+	parsecList []*Benchmark
+)
+
+// PARSECBenchmarks returns the 13 PARSEC profiles.
+func PARSECBenchmarks() []*Benchmark {
+	parsecOnce.Do(func() {
+		for _, s := range parsecSpecs {
+			s.suite = "PARSEC"
+			parsecList = append(parsecList, build(s))
+		}
+	})
+	out := make([]*Benchmark, len(parsecList))
+	copy(out, parsecList)
+	return out
+}
+
+// PARSECByName returns the named PARSEC profile, panicking if unknown.
+func PARSECByName(name string) *Benchmark {
+	for _, b := range PARSECBenchmarks() {
+		if b.Name == name {
+			return b
+		}
+	}
+	panic("workload: unknown PARSEC benchmark " + name)
+}

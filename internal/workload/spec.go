@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// The 29 SPEC CPU2006 programs the paper runs (Figure 6 axis). Featured
+// programs — 429.mcf, 433.milc, 458.sjeng, 416.gamess — carry hand tuning
+// so their signatures match the paper's description (433.milc "typical
+// memory-bound", 458.sjeng "typical CPU-bound").
+var specSpecs = []profileSpec{
+	{name: "400.perlbench", class: CPUBound, phases: 3, gInst: 90, noise: 0.06},
+	{name: "401.bzip2", class: Balanced, phases: 3, loops: 2, gInst: 80, noise: 0.07},
+	{name: "403.gcc", class: Balanced, phases: 4, gInst: 70, noise: 0.10},
+	{name: "410.bwaves", class: MemBound, fp: true, phases: 2, gInst: 110, noise: 0.04},
+	{name: "416.gamess", class: CPUBound, fp: true, phases: 2, gInst: 120, noise: 0.03, tune: tuneGamess},
+	{name: "429.mcf", class: MemBound, phases: 2, gInst: 50, noise: 0.08, tune: tuneMcf},
+	{name: "433.milc", class: MemBound, fp: true, phases: 2, gInst: 75, noise: 0.05, tune: tuneMilc},
+	{name: "434.zeusmp", class: Balanced, fp: true, phases: 2, gInst: 95, noise: 0.04},
+	{name: "435.gromacs", class: CPUBound, fp: true, phases: 2, gInst: 100, noise: 0.03},
+	{name: "436.cactusADM", class: MemBound, fp: true, phases: 1, gInst: 90, noise: 0.03},
+	{name: "437.leslie3d", class: MemBound, fp: true, phases: 2, gInst: 85, noise: 0.04},
+	{name: "444.namd", class: CPUBound, fp: true, phases: 2, gInst: 115, noise: 0.02},
+	{name: "445.gobmk", class: CPUBound, phases: 3, gInst: 85, noise: 0.06},
+	{name: "447.dealII", class: Balanced, fp: true, phases: 3, gInst: 95, noise: 0.05},
+	{name: "450.soplex", class: MemBound, fp: true, phases: 3, gInst: 60, noise: 0.08},
+	{name: "453.povray", class: CPUBound, fp: true, phases: 2, gInst: 105, noise: 0.04},
+	{name: "454.calculix", class: CPUBound, fp: true, phases: 2, gInst: 110, noise: 0.04},
+	{name: "456.hmmer", class: CPUBound, phases: 1, gInst: 120, noise: 0.02},
+	{name: "458.sjeng", class: CPUBound, phases: 2, gInst: 95, noise: 0.04, tune: tuneSjeng},
+	{name: "459.GemsFDTD", class: MemBound, fp: true, phases: 2, gInst: 80, noise: 0.05},
+	{name: "462.libquantum", class: MemBound, phases: 1, gInst: 90, noise: 0.03},
+	{name: "464.h264ref", class: CPUBound, phases: 3, gInst: 100, noise: 0.05},
+	{name: "465.tonto", class: Balanced, fp: true, phases: 3, gInst: 90, noise: 0.05},
+	{name: "470.lbm", class: MemBound, fp: true, phases: 1, gInst: 70, noise: 0.02},
+	{name: "471.omnetpp", class: MemBound, phases: 2, gInst: 55, noise: 0.07},
+	{name: "473.astar", class: Balanced, phases: 2, gInst: 75, noise: 0.06},
+	{name: "481.wrf", class: Balanced, fp: true, phases: 4, loops: 2, gInst: 95, noise: 0.06},
+	{name: "482.sphinx3", class: Balanced, fp: true, phases: 2, gInst: 85, noise: 0.05},
+	{name: "483.xalancbmk", class: Balanced, phases: 3, gInst: 70, noise: 0.07},
+}
+
+// tuneMilc pins 433.milc to the paper's "typical memory-bound" profile.
+func tuneMilc(b *Benchmark) {
+	setAll(b, func(p *Phase) {
+		p.BaseCPI = 0.65
+		p.PerInst.L2Req = 0.090
+		p.PerInst.L2Miss = 0.055
+		p.PerInst.FPU = 0.55
+		p.L3MissRatio = 0.75
+		p.MLP = 3.0
+	})
+}
+
+// tuneSjeng pins 458.sjeng to the paper's "typical CPU-bound" profile:
+// branchy integer code that fits in cache.
+func tuneSjeng(b *Benchmark) {
+	setAll(b, func(p *Phase) {
+		p.BaseCPI = 0.80
+		p.PerInst.L2Req = 0.009
+		p.PerInst.L2Miss = 0.0008
+		p.PerInst.Branch = 0.20
+		p.PerInst.Mispred = 0.013
+		p.PerInst.FPU = 0.01
+		p.L3MissRatio = 0.25
+		p.MLP = 1.2
+	})
+}
+
+// tuneMcf makes 429.mcf the most memory-bound program in the suite.
+func tuneMcf(b *Benchmark) {
+	setAll(b, func(p *Phase) {
+		p.BaseCPI = 0.85
+		p.PerInst.L2Req = 0.105
+		p.PerInst.L2Miss = 0.056
+		p.PerInst.DCAccess = 0.52
+		p.L3MissRatio = 0.62
+		p.MLP = 1.5
+	})
+}
+
+// tuneGamess makes 416.gamess a heavily FP, cache-resident program.
+func tuneGamess(b *Benchmark) {
+	setAll(b, func(p *Phase) {
+		p.BaseCPI = 0.55
+		p.PerInst.FPU = 0.70
+		p.PerInst.L2Req = 0.006
+		p.PerInst.L2Miss = 0.0005
+		p.L3MissRatio = 0.20
+		p.MLP = 1.1
+	})
+}
+
+var (
+	specOnce  sync.Once
+	specList  []*Benchmark
+	specByNum map[string]*Benchmark
+)
+
+func initSPEC() {
+	specOnce.Do(func() {
+		specByNum = make(map[string]*Benchmark, len(specSpecs))
+		for _, s := range specSpecs {
+			s.suite = "SPEC"
+			b := build(s)
+			specList = append(specList, b)
+			num := strings.SplitN(s.name, ".", 2)[0]
+			specByNum[num] = b
+		}
+	})
+}
+
+// SPECBenchmarks returns the 29 SPEC CPU2006 profiles in suite order.
+func SPECBenchmarks() []*Benchmark {
+	initSPEC()
+	out := make([]*Benchmark, len(specList))
+	copy(out, specList)
+	return out
+}
+
+// SPECByNumber looks a SPEC program up by its three-digit number
+// ("429" → 429.mcf). It panics on an unknown number: combination tables
+// are static and a miss is a programming error.
+func SPECByNumber(num string) *Benchmark {
+	initSPEC()
+	b, ok := specByNum[num]
+	if !ok {
+		known := make([]string, 0, len(specByNum))
+		for k := range specByNum {
+			known = append(known, k)
+		}
+		sort.Strings(known)
+		panic(fmt.Sprintf("workload: unknown SPEC number %q (known: %v)", num, known))
+	}
+	return b
+}

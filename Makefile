@@ -2,14 +2,24 @@
 
 GO ?= go
 
-.PHONY: all test bench experiments fmt vet tools
+.PHONY: all test bench bench-all experiments fmt vet tools
 
 all: test
 
 test:
+	$(GO) vet ./...
 	$(GO) test ./...
+	$(GO) test -race ./internal/fxsim/... ./internal/experiments/...
 
+# Tick-loop microbenchmarks, summarized into a committable JSON record
+# (mean over -count=5 samples; see cmd/benchjson).
 bench:
+	$(GO) test -run xxx -bench '^(BenchmarkChipTick|BenchmarkTickN|BenchmarkEventPrediction)$$' \
+		-benchmem -count=5 . | $(GO) run ./cmd/benchjson > BENCH_fxsim.json
+	cat BENCH_fxsim.json
+
+# Every benchmark, including the figure/table regenerations.
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 # Quick pass over every table/figure (shrunken benchmarks).

@@ -31,6 +31,28 @@ func benchmarkTick(b *testing.B) {
 	}
 }
 
+// benchmarkTickN drives the simulator through whole 200-tick decision
+// intervals via the batched API, the granularity Collect and the PG
+// sweeps actually use.
+func benchmarkTickN(b *testing.B) {
+	cfg := fxsim.DefaultFX8320Config()
+	cfg.IdealSensor = true
+	chip := fxsim.New(cfg)
+	run := workload.Run{Name: "tickn", Suite: "micro",
+		Members: []workload.Member{{Bench: workload.BenchA(), Threads: 8}}}
+	if _, err := chip.PlaceRun(run, fxsim.PlaceCompact, true); err != nil {
+		b.Fatal(err)
+	}
+	if err := chip.SetAllPStates(arch.VF5); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		chip.TickN(arch.DecisionIntervalMS)
+		chip.ReadInterval()
+	}
+}
+
 // TestBenchHarnessSmoke keeps the benchmark harness correct under plain
 // `go test`: it runs the cheapest benchmark body once.
 func TestBenchHarnessSmoke(t *testing.T) {

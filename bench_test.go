@@ -183,6 +183,13 @@ func BenchmarkChipTick(b *testing.B) {
 	benchmarkTick(b)
 }
 
+// BenchmarkTickN measures one full 200-tick decision interval through
+// the batched TickN API plus the interval read — the campaign's unit of
+// work.
+func BenchmarkTickN(b *testing.B) {
+	benchmarkTickN(b)
+}
+
 // BenchmarkEventPrediction measures one core's cross-VF event-rate
 // prediction — the inner loop of step ② of the PPEP pipeline.
 func BenchmarkEventPrediction(b *testing.B) {

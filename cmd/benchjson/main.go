@@ -1,0 +1,129 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// stable JSON summary on stdout, so benchmark results can be committed
+// and diffed across PRs.
+//
+// Usage:
+//
+//	go test -run xxx -bench 'BenchmarkChipTick|BenchmarkTickN' -benchmem -count=5 . | benchjson > BENCH_fxsim.json
+//
+// Repeated samples of the same benchmark (from -count) are averaged; the
+// GOMAXPROCS suffix (-8) is stripped so names stay comparable between
+// machines.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches one benchmark result row, e.g.
+//
+//	BenchmarkChipTick-8   569186   2024 ns/op   0 B/op   0 allocs/op
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(.*)$`)
+
+var memField = regexp.MustCompile(`([0-9.]+) (B/op|allocs/op)`)
+
+// result accumulates samples for one benchmark name.
+type result struct {
+	ns     []float64
+	bytes  []float64
+	allocs []float64
+}
+
+// summary is the per-benchmark JSON record.
+type summary struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Samples     int     `json:"samples"`
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func main() {
+	results := map[string]*result{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		r := results[name]
+		if r == nil {
+			r = &result{}
+			results[name] = r
+		}
+		r.ns = append(r.ns, ns)
+		for _, f := range memField.FindAllStringSubmatch(m[3], -1) {
+			v, err := strconv.ParseFloat(f[1], 64)
+			if err != nil {
+				continue
+			}
+			switch f[2] {
+			case "B/op":
+				r.bytes = append(r.bytes, v)
+			case "allocs/op":
+				r.allocs = append(r.allocs, v)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	out := map[string]summary{}
+	for name, r := range results {
+		out[name] = summary{
+			NsPerOp:     mean(r.ns),
+			BytesPerOp:  mean(r.bytes),
+			AllocsPerOp: mean(r.allocs),
+			Samples:     len(r.ns),
+		}
+	}
+	names := make([]string, 0, len(out))
+	for n := range out {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	// Emit keys in sorted order for stable diffs.
+	var b strings.Builder
+	b.WriteString("{\n")
+	for i, n := range names {
+		rec, _ := json.Marshal(out[n])
+		fmt.Fprintf(&b, "  %q: %s", n, rec)
+		if i < len(names)-1 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("}\n")
+	os.Stdout.WriteString(b.String())
+}

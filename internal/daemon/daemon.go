@@ -65,9 +65,7 @@ func (d *Daemon) RunIntervals(n int) error {
 	windows := arch.DecisionIntervalMS / arch.PowerSamplePeriodMS
 	for i := 0; i < n; i++ {
 		for w := 0; w < windows; w++ {
-			for t := 0; t < arch.PowerSamplePeriodMS; t++ {
-				d.chip.Tick()
-			}
+			d.chip.TickN(arch.PowerSamplePeriodMS)
 			if err := d.sampler.OnWindow(arch.PowerSamplePeriodMS); err != nil {
 				return err
 			}

@@ -86,6 +86,55 @@ func seedOf(name string, vf arch.VFState) int64 {
 	return int64(h.Sum64() & 0x7fffffffffffffff)
 }
 
+// workers resolves the configured fan-out bound.
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forEachJob runs fn(i) for every i in [0,n) on a bounded pool:
+// min(workers, n) goroutines drain an index channel, so at most
+// `workers` jobs are in flight and no goroutine is created before it has
+// work to do. Every campaign phase shares this shape; determinism comes
+// from each job writing only its own index of a pre-sized result slice
+// and deriving any randomness from the job's identity, never from
+// scheduling order.
+func forEachJob(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}
+
 // truncate keeps at most n runs (n == 0 keeps all).
 func truncate(runs []workload.Run, n int) []workload.Run {
 	if n <= 0 || n >= len(runs) {
@@ -109,16 +158,12 @@ func NewFXCampaign(opts Options) (*Campaign, error) {
 		PGSweeps: map[arch.VFState]pgidle.Sweep{},
 		opts:     opts,
 	}
-	// Idle heat/cool transients (sequential: five short runs).
-	for _, vf := range c.Table.States() {
-		cfg := fxsim.DefaultFX8320Config()
-		cfg.SensorSeed = seedOf("idle", vf)
-		chip := fxsim.New(cfg)
-		tr, err := chip.HeatCool(vf, 40, 90)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: idle transient at %v: %w", vf, err)
-		}
-		c.Idle[vf] = tr
+	// Idle heat/cool transients at every VF state, in parallel: each
+	// transient simulates an independent chip seeded from its (name, VF)
+	// identity, so results are schedule-independent.
+	if err := collectIdle(c.Idle, c.Table.States(), opts.workers(), "idle",
+		fxsim.DefaultFX8320Config); err != nil {
+		return nil, err
 	}
 
 	// Benchmark combinations at every VF state, in parallel.
@@ -130,14 +175,13 @@ func NewFXCampaign(opts Options) (*Campaign, error) {
 		return nil, err
 	}
 
-	// Power-gating CU sweeps (Figure 4) at every VF state.
-	for _, vf := range c.Table.States() {
-		sweep, err := pgSweep(vf, opts)
-		if err != nil {
-			return nil, err
-		}
-		c.PGSweeps[vf] = sweep
+	// Power-gating CU sweeps (Figure 4): the whole (VF, PG, busy-CU)
+	// grid is one flat job list over the shared worker pool.
+	sweeps, err := pgSweepAll(c.Table.States(), opts.workers())
+	if err != nil {
+		return nil, err
 	}
+	c.PGSweeps = sweeps
 
 	if err := c.train(); err != nil {
 		return nil, err
@@ -159,15 +203,9 @@ func NewPhenomCampaign(opts Options) (*Campaign, error) {
 		Idle:     map[arch.VFState]*trace.Trace{},
 		opts:     opts,
 	}
-	for _, vf := range c.Table.States() {
-		cfg := fxsim.DefaultPhenomIIConfig()
-		cfg.SensorSeed = seedOf("phenom-idle", vf)
-		chip := fxsim.New(cfg)
-		tr, err := chip.HeatCool(vf, 40, 90)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: phenom idle at %v: %w", vf, err)
-		}
-		c.Idle[vf] = tr
+	if err := collectIdle(c.Idle, c.Table.States(), opts.workers(), "phenom-idle",
+		fxsim.DefaultPhenomIIConfig); err != nil {
+		return nil, err
 	}
 	var runs []workload.Run
 	for _, r := range truncate(workload.PARSECRuns(), opts.MaxRunsPerSuite) {
@@ -186,6 +224,33 @@ func NewPhenomCampaign(opts Options) (*Campaign, error) {
 	return c, c.train()
 }
 
+// collectIdle simulates the idle heat/cool transient at every VF state
+// on the shared worker pool and fills dst.
+func collectIdle(dst map[arch.VFState]*trace.Trace, states []arch.VFState,
+	workers int, seedName string, mkCfg func() fxsim.Config) error {
+	trs := make([]*trace.Trace, len(states))
+	errs := make([]error, len(states))
+	forEachJob(len(states), workers, func(i int) {
+		vf := states[i]
+		cfg := mkCfg()
+		cfg.SensorSeed = seedOf(seedName, vf)
+		chip := fxsim.New(cfg)
+		tr, err := chip.HeatCool(vf, 40, 90)
+		if err != nil {
+			errs[i] = fmt.Errorf("experiments: %s transient at %v: %w", seedName, vf, err)
+			return
+		}
+		trs[i] = tr
+	})
+	for i, err := range errs {
+		if err != nil {
+			return err
+		}
+		dst[states[i]] = trs[i]
+	}
+	return nil
+}
+
 // collect simulates every (run, VF) pair with a bounded worker pool.
 func (c *Campaign) collect(runs []workload.Run, mkCfg func() fxsim.Config) error {
 	type job struct {
@@ -198,36 +263,24 @@ func (c *Campaign) collect(runs []workload.Run, mkCfg func() fxsim.Config) error
 			jobs = append(jobs, job{r, vf})
 		}
 	}
-	workers := c.opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	results := make([]core.RunTrace, len(jobs))
 	errs := make([]error, len(jobs))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i, j := range jobs {
-		wg.Add(1)
-		go func(i int, j job) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			cfg := mkCfg()
-			cfg.SensorSeed = seedOf(j.run.Name, j.vf)
-			chip := fxsim.New(cfg)
-			scaled := scaleRun(j.run, c.opts.Scale)
-			tr, err := chip.Collect(scaled, fxsim.RunOpts{
-				VF: j.vf, WarmTempK: 315, Placement: fxsim.PlaceScatter,
-				MaxTimeS: 600,
-			})
-			if err != nil {
-				errs[i] = fmt.Errorf("experiments: %s at %v: %w", j.run.Name, j.vf, err)
-				return
-			}
-			results[i] = core.RunTrace{Name: j.run.Name, Suite: j.run.Suite, VF: j.vf, Trace: tr}
-		}(i, j)
-	}
-	wg.Wait()
+	forEachJob(len(jobs), c.opts.workers(), func(i int) {
+		j := jobs[i]
+		cfg := mkCfg()
+		cfg.SensorSeed = seedOf(j.run.Name, j.vf)
+		chip := fxsim.New(cfg)
+		scaled := scaleRun(j.run, c.opts.Scale)
+		tr, err := chip.Collect(scaled, fxsim.RunOpts{
+			VF: j.vf, WarmTempK: 315, Placement: fxsim.PlaceScatter,
+			MaxTimeS: 600,
+		})
+		if err != nil {
+			errs[i] = fmt.Errorf("experiments: %s at %v: %w", j.run.Name, j.vf, err)
+			return
+		}
+		results[i] = core.RunTrace{Name: j.run.Name, Suite: j.run.Suite, VF: j.vf, Trace: tr}
+	})
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -243,45 +296,74 @@ func (c *Campaign) collect(runs []workload.Run, mkCfg func() fxsim.Config) error
 	return nil
 }
 
-// pgSweep measures the Figure 4 busy-CU sweep at one VF state.
-func pgSweep(vf arch.VFState, opts Options) (pgidle.Sweep, error) {
-	var s pgidle.Sweep
-	for _, pg := range []bool{false, true} {
-		for busy := 0; busy <= arch.FX8320.NumCUs; busy++ {
-			cfg := fxsim.DefaultFX8320Config()
-			cfg.PowerGating = pg
-			cfg.SensorSeed = seedOf(fmt.Sprintf("pg%v-%d", pg, busy), vf)
-			chip := fxsim.New(cfg)
-			if err := chip.SetAllPStates(vf); err != nil {
-				return s, err
-			}
-			chip.SetTempK(318)
-			for cu := 0; cu < busy; cu++ {
-				if err := chip.Bind(cu*arch.FX8320.CoresPerCU, workload.BenchA(), true); err != nil {
-					return s, err
-				}
-			}
-			// Settle one interval, then measure four.
-			for i := 0; i < 200; i++ {
-				chip.Tick()
-			}
-			chip.ReadInterval()
-			var sum float64
-			const n = 4
-			for k := 0; k < n; k++ {
-				for i := 0; i < 200; i++ {
-					chip.Tick()
-				}
-				sum += chip.ReadInterval().MeasPowerW
-			}
-			if pg {
-				s.PGOn = append(s.PGOn, sum/n)
-			} else {
-				s.PGOff = append(s.PGOff, sum/n)
+// pgCell measures one Figure 4 sweep cell — `busy` loaded CUs with power
+// gating on or off at one VF state — returning the mean measured power
+// over four settled intervals.
+func pgCell(vf arch.VFState, pg bool, busy int) (float64, error) {
+	cfg := fxsim.DefaultFX8320Config()
+	cfg.PowerGating = pg
+	cfg.SensorSeed = seedOf(fmt.Sprintf("pg%v-%d", pg, busy), vf)
+	chip := fxsim.New(cfg)
+	if err := chip.SetAllPStates(vf); err != nil {
+		return 0, err
+	}
+	chip.SetTempK(318)
+	for cu := 0; cu < busy; cu++ {
+		if err := chip.Bind(cu*arch.FX8320.CoresPerCU, workload.BenchA(), true); err != nil {
+			return 0, err
+		}
+	}
+	// Settle one interval, then measure four.
+	chip.TickN(arch.DecisionIntervalMS)
+	chip.ReadInterval()
+	var sum float64
+	const n = 4
+	for k := 0; k < n; k++ {
+		chip.TickN(arch.DecisionIntervalMS)
+		sum += chip.ReadInterval().MeasPowerW
+	}
+	return sum / n, nil
+}
+
+// pgSweepAll measures the Figure 4 power-gating sweeps for every VF
+// state. Each of the 2×(NumCUs+1)×len(states) cells simulates an
+// independent chip seeded from the cell's identity, so the full grid is
+// one flat job list over the worker pool; cells are generated in the
+// serial implementation's iteration order and reassembled by index, which
+// keeps every Sweep slice bit-identical to the serial result.
+func pgSweepAll(states []arch.VFState, workers int) (map[arch.VFState]pgidle.Sweep, error) {
+	type cell struct {
+		vf   arch.VFState
+		pg   bool
+		busy int
+	}
+	var cells []cell
+	for _, vf := range states {
+		for _, pg := range []bool{false, true} {
+			for busy := 0; busy <= arch.FX8320.NumCUs; busy++ {
+				cells = append(cells, cell{vf, pg, busy})
 			}
 		}
 	}
-	return s, nil
+	powers := make([]float64, len(cells))
+	errs := make([]error, len(cells))
+	forEachJob(len(cells), workers, func(i int) {
+		powers[i], errs[i] = pgCell(cells[i].vf, cells[i].pg, cells[i].busy)
+	})
+	out := make(map[arch.VFState]pgidle.Sweep, len(states))
+	for i, cl := range cells {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		s := out[cl.vf]
+		if cl.pg {
+			s.PGOn = append(s.PGOn, powers[i])
+		} else {
+			s.PGOff = append(s.PGOff, powers[i])
+		}
+		out[cl.vf] = s
+	}
+	return out, nil
 }
 
 // train fits the full-campaign models and the Green Governors baseline.

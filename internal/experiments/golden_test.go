@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// goldenCampaignWant is the fingerprint of a small fixed-seed FX campaign
+// recorded from the serial (pre-worker-pool) implementation. The campaign
+// derives every chip's sensor seed from the (run, VF) identity, so the
+// idle transients, benchmark collection, and power-gating sweeps must
+// produce bit-identical results no matter how many workers execute them
+// or in which order the phases' jobs are scheduled.
+const goldenCampaignWant = uint64(0x58c37d4a16639fec)
+
+// campaignFingerprint folds the deterministic measurement artifacts of a
+// campaign — idle traces, run traces, and PG sweep powers, all in a fixed
+// iteration order — into one hash. Model coefficients are derived from
+// these, so hashing the measurements pins the whole pipeline.
+func campaignFingerprint(c *Campaign) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= x & 0xff
+			h *= prime
+			x >>= 8
+		}
+	}
+	mixF := func(x float64) { mix(math.Float64bits(x)) }
+	for _, vf := range c.Table.States() {
+		if tr := c.Idle[vf]; tr != nil {
+			mix(tr.Fingerprint())
+		}
+	}
+	for _, rt := range c.Runs {
+		mix(uint64(rt.VF))
+		mix(rt.Trace.Fingerprint())
+	}
+	for _, vf := range c.Table.States() {
+		s := c.PGSweeps[vf]
+		for _, w := range s.PGOff {
+			mixF(w)
+		}
+		for _, w := range s.PGOn {
+			mixF(w)
+		}
+	}
+	return h
+}
+
+// TestGoldenCampaignEquivalence runs a reduced fixed-seed campaign twice
+// with different worker counts and checks both against the recorded
+// serial-implementation fingerprint: the parallel phases must be
+// bit-deterministic and schedule-independent.
+func TestGoldenCampaignEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign fingerprint is a multi-second run")
+	}
+	for _, workers := range []int{1, 4} {
+		c, err := NewFXCampaign(Options{Scale: 0.02, MaxRunsPerSuite: 2, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := campaignFingerprint(c); got != goldenCampaignWant {
+			t.Errorf("workers=%d: campaign fingerprint %#x, want %#x", workers, got, goldenCampaignWant)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package fxsim
+
+import (
+	"sync"
+	"testing"
+
+	"ppep/internal/arch"
+	"ppep/internal/workload"
+)
+
+// busyChip builds a chip with every core running a thread long enough
+// never to finish during an alloc measurement.
+func busyChip(t testing.TB) *Chip {
+	t.Helper()
+	cfg := DefaultFX8320Config()
+	cfg.IdealSensor = true
+	c := New(cfg)
+	b := workload.BenchA()
+	long := *b
+	long.Instructions = 1e18
+	for i := 0; i < cfg.Topology.NumCores(); i++ {
+		if err := c.Bind(i, &long, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.SetAllPStates(arch.VF5); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestTickZeroAlloc pins the tick loop's allocation-free guarantee: the
+// power breakdown, VF snapshot, and all model coefficients must come
+// from chip-owned buffers and caches, busy or idle.
+func TestTickZeroAlloc(t *testing.T) {
+	t.Run("busy", func(t *testing.T) {
+		c := busyChip(t)
+		if n := testing.AllocsPerRun(200, c.Tick); n != 0 {
+			t.Errorf("busy Tick allocates %.1f times per call, want 0", n)
+		}
+	})
+	t.Run("idle", func(t *testing.T) {
+		cfg := DefaultFX8320Config()
+		cfg.IdealSensor = true
+		c := New(cfg)
+		if n := testing.AllocsPerRun(200, c.Tick); n != 0 {
+			t.Errorf("idle Tick allocates %.1f times per call, want 0", n)
+		}
+	})
+	t.Run("gated", func(t *testing.T) {
+		cfg := DefaultFX8320Config()
+		cfg.IdealSensor = true
+		cfg.PowerGating = true
+		c := New(cfg)
+		if n := testing.AllocsPerRun(200, c.Tick); n != 0 {
+			t.Errorf("gated Tick allocates %.1f times per call, want 0", n)
+		}
+	})
+}
+
+// TestConfigNBNotShared guards the NB deep copy in New: two chips built
+// from the same Config value must not share mutable NB state, and
+// SetNBPoint must never write through to the caller's Config. Run under
+// -race this doubles as a concurrent-aliasing regression test — before
+// the deep copy, one chip's SetNBPoint raced another chip's tick loop.
+func TestConfigNBNotShared(t *testing.T) {
+	cfg := DefaultFX8320Config()
+	origFreq := cfg.NB.FreqGHz
+	origVolt := cfg.NB.VoltageV
+
+	a := New(cfg)
+	b := New(cfg)
+	bindOne := func(c *Chip) {
+		bench := *workload.BenchA()
+		bench.Instructions = 1e18
+		if err := c.Bind(0, &bench, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bindOne(a)
+	bindOne(b)
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		a.TickN(400)
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			b.SetNBPoint(arch.VFPoint{Voltage: 1.0875, Freq: 1.8})
+			b.TickN(8)
+			b.SetNBPoint(arch.VFPoint{Voltage: 1.175, Freq: 2.2})
+		}
+	}()
+	wg.Wait()
+
+	if cfg.NB.FreqGHz != origFreq || cfg.NB.VoltageV != origVolt {
+		t.Errorf("caller's Config.NB mutated to (%.4f V, %.2f GHz), want (%.4f V, %.2f GHz)",
+			cfg.NB.VoltageV, cfg.NB.FreqGHz, origVolt, origFreq)
+	}
+	if a.cfg.NB == b.cfg.NB || a.cfg.NB == cfg.NB {
+		t.Error("chips share an NB instance with each other or the caller")
+	}
+}

@@ -113,18 +113,59 @@ type Chip struct {
 	trueNBSum   float64
 	coreDynSum  []float64
 	tickCount   int
-	intervalVF  []arch.VFState
+	intervalVF  []arch.VFState // reused buffer; ReadInterval copies it out
+
+	// Tick-loop caches (see the "simulator performance" section of
+	// DESIGN.md). The busy counters are maintained incrementally by
+	// Bind/Unbind and thread completion; the VF-derived values are
+	// refreshed by SetPState/SetNBPoint. Every cached value is exactly
+	// what the uncached path recomputed per tick, so a fixed SensorSeed
+	// still produces bit-identical interval sequences (golden_test.go).
+	fTopGHz     float64        // top-state core frequency
+	cuBusyCores []int          // busy cores per CU
+	busyCUs     int            // CUs with ≥1 busy core
+	topBusyCUs  int            // busy CUs sitting at the top P-state
+	cuPoints    []arch.VFPoint // per-CU VF point (P-state table lookup)
+	sharedV     float64        // shared-rail voltage (highest requested state)
+	nbLat       mem.LatencyParams
+	nbDyn       powertruth.NBDynCoeffs
+	nbLeakVolt  float64     // NB leakage voltage factor
+	cuOp        []cuOpCache // per-CU operating-point coefficient memo
+	scratchDyn  []float64   // Breakdown.CoreDynW backing store
+	scratchLeak []float64   // Breakdown.CULeakW backing store
+}
+
+// cuOpCache memoises the power-model coefficients for one CU's current
+// (voltage, frequency). Boost can flip a CU's operating point from one
+// tick to the next, so the memo is keyed by value rather than invalidated
+// explicitly.
+type cuOpCache struct {
+	v, f     float64
+	dyn      powertruth.CoreDynCoeffs
+	leakVolt float64
+	ok       bool
 }
 
 // New builds a chip at the top VF state, thermally at ambient.
 func New(cfg Config) *Chip {
+	// The NB is mutable chip state (SetNBPoint rewrites its clock and
+	// voltage), so deep-copy it: two chips built from one Config value
+	// must never share it.
+	nb := *cfg.NB
+	cfg.NB = &nb
 	c := &Chip{
-		cfg:        cfg,
-		cores:      make([]coreSlot, cfg.Topology.NumCores()),
-		pstates:    make([]arch.VFState, cfg.Topology.NumCUs),
-		nbPoint:    arch.VFPoint{Voltage: cfg.NB.VoltageV, Freq: cfg.NB.FreqGHz},
-		therm:      thermal.DefaultFX8320(),
-		coreDynSum: make([]float64, cfg.Topology.NumCores()),
+		cfg:         cfg,
+		cores:       make([]coreSlot, cfg.Topology.NumCores()),
+		pstates:     make([]arch.VFState, cfg.Topology.NumCUs),
+		nbPoint:     arch.VFPoint{Voltage: cfg.NB.VoltageV, Freq: cfg.NB.FreqGHz},
+		therm:       thermal.DefaultFX8320(),
+		coreDynSum:  make([]float64, cfg.Topology.NumCores()),
+		intervalVF:  make([]arch.VFState, cfg.Topology.NumCores()),
+		cuBusyCores: make([]int, cfg.Topology.NumCUs),
+		cuPoints:    make([]arch.VFPoint, cfg.Topology.NumCUs),
+		cuOp:        make([]cuOpCache, cfg.Topology.NumCUs),
+		scratchDyn:  make([]float64, cfg.Topology.NumCores()),
+		scratchLeak: make([]float64, 0, cfg.Topology.NumCUs),
 	}
 	if cfg.IdealSensor {
 		c.sensor = sensor.Ideal()
@@ -137,11 +178,23 @@ func New(cfg Config) *Chip {
 		c.cores[i].mux = m
 	}
 	top := cfg.Topology.VF.Top()
+	topPoint := cfg.Topology.VF.Point(top)
 	for cu := range c.pstates {
 		c.pstates[cu] = top
+		c.cuPoints[cu] = topPoint
 	}
+	c.fTopGHz = topPoint.Freq
+	c.sharedV = topPoint.Voltage
+	c.refreshNBCaches()
 	c.snapshotVF()
 	return c
+}
+
+// refreshNBCaches re-derives every NB-operating-point-dependent cache.
+func (c *Chip) refreshNBCaches() {
+	c.nbLat = c.cfg.NB.LatencyParams()
+	c.nbDyn = c.cfg.Power.NBDynCoeffsAt(c.nbPoint.Voltage, c.nbPoint.Freq)
+	c.nbLeakVolt = c.cfg.Power.NBLeakVoltScale(c.nbPoint.Voltage)
 }
 
 // Topology returns the platform topology.
@@ -173,8 +226,58 @@ func (c *Chip) SetPState(cu int, s arch.VFState) error {
 	if !c.cfg.Topology.VF.Contains(s) {
 		return fmt.Errorf("fxsim: %v not in VF table", s)
 	}
+	old := c.pstates[cu]
+	if old == s {
+		return nil
+	}
+	if top := c.cfg.Topology.VF.Top(); c.cuBusyCores[cu] > 0 {
+		if old == top {
+			c.topBusyCUs--
+		}
+		if s == top {
+			c.topBusyCUs++
+		}
+	}
 	c.pstates[cu] = s
+	c.cuPoints[cu] = c.cfg.Topology.VF.Point(s)
+	c.refreshSharedRail()
 	return nil
+}
+
+// refreshSharedRail re-derives the shared-rail voltage: the voltage of
+// the highest requested P-state.
+func (c *Chip) refreshSharedRail() {
+	top := c.pstates[0]
+	for _, s := range c.pstates[1:] {
+		if s > top {
+			top = s
+		}
+	}
+	c.sharedV = c.cfg.Topology.VF.Point(top).Voltage
+}
+
+// markBusy records a core's idle→busy transition in the CU busy counters.
+func (c *Chip) markBusy(core int) {
+	cu := c.cfg.Topology.CUOf(core)
+	c.cuBusyCores[cu]++
+	if c.cuBusyCores[cu] == 1 {
+		c.busyCUs++
+		if c.pstates[cu] == c.cfg.Topology.VF.Top() {
+			c.topBusyCUs++
+		}
+	}
+}
+
+// markIdle records a core's busy→idle transition (unbind or completion).
+func (c *Chip) markIdle(core int) {
+	cu := c.cfg.Topology.CUOf(core)
+	c.cuBusyCores[cu]--
+	if c.cuBusyCores[cu] == 0 {
+		c.busyCUs--
+		if c.pstates[cu] == c.cfg.Topology.VF.Top() {
+			c.topBusyCUs--
+		}
+	}
 }
 
 // SetAllPStates sets every CU to the same P-state.
@@ -191,10 +294,13 @@ func (c *Chip) SetAllPStates(s arch.VFState) error {
 func (c *Chip) PState(cu int) arch.VFState { return c.pstates[cu] }
 
 // SetNBPoint overrides the NB operating point (Section V-C2 what-if).
+// The chip owns its NB (deep-copied in New), so this never mutates the
+// Config the caller built the chip from.
 func (c *Chip) SetNBPoint(p arch.VFPoint) {
 	c.nbPoint = p
 	c.cfg.NB.FreqGHz = p.Freq
 	c.cfg.NB.VoltageV = p.Voltage
+	c.refreshNBCaches()
 }
 
 // railVoltage returns the voltage a CU runs at: its own point with per-CU
@@ -205,20 +311,12 @@ func (c *Chip) railVoltage(cu int) float64 {
 		if c.boosting(cu) {
 			return c.boostPoint().Voltage
 		}
-		return c.cfg.Topology.VF.Point(c.pstates[cu]).Voltage
+		return c.cuPoints[cu].Voltage
 	}
-	top := c.pstates[0]
-	for _, s := range c.pstates[1:] {
-		if s > top {
-			top = s
-		}
-	}
-	v := c.cfg.Topology.VF.Point(top).Voltage
-	for u := 0; u < c.cfg.Topology.NumCUs; u++ {
-		if c.boosting(u) {
-			if bv := c.boostPoint().Voltage; bv > v {
-				v = bv
-			}
+	v := c.sharedV
+	if c.anyBoosting() {
+		if bv := c.boostPoint().Voltage; bv > v {
+			v = bv
 		}
 	}
 	return v
@@ -229,7 +327,7 @@ func (c *Chip) cuFreq(cu int) float64 {
 	if c.boosting(cu) {
 		return c.boostPoint().Freq
 	}
-	return c.cfg.Topology.VF.Point(c.pstates[cu]).Freq
+	return c.cuPoints[cu].Freq
 }
 
 // boostPoint returns the configured boost operating point.
@@ -240,10 +338,25 @@ func (c *Chip) boostPoint() arch.VFPoint {
 	return arch.VFPoint{Voltage: 1.40, Freq: 3.9}
 }
 
+// boostLimits returns the effective boost ceilings (defaults applied).
+func (c *Chip) boostLimits() (maxBusy int, tMaxK float64) {
+	maxBusy = c.cfg.BoostMaxBusyCUs
+	if maxBusy == 0 {
+		maxBusy = 2
+	}
+	tMaxK = c.cfg.BoostTempMaxK
+	if tMaxK == 0 {
+		tMaxK = 331
+	}
+	return maxBusy, tMaxK
+}
+
 // boosting reports whether a CU is in a hardware boost state this tick:
 // boost is enabled, the CU sits at the top P-state with work, few CUs
 // are busy, and the package is cool. Software cannot observe or control
 // this — the measurement hazard the paper avoids by disabling boost.
+// The busy conditions read the incrementally-maintained CU counters, so
+// the check is O(1).
 func (c *Chip) boosting(cu int) bool {
 	if !c.cfg.BoostEnabled {
 		return false
@@ -251,32 +364,21 @@ func (c *Chip) boosting(cu int) bool {
 	if c.pstates[cu] != c.cfg.Topology.VF.Top() {
 		return false
 	}
-	maxBusy := c.cfg.BoostMaxBusyCUs
-	if maxBusy == 0 {
-		maxBusy = 2
-	}
-	tMax := c.cfg.BoostTempMaxK
-	if tMax == 0 {
-		tMax = 331
-	}
+	maxBusy, tMax := c.boostLimits()
 	if c.therm.TempK() >= tMax {
 		return false
 	}
-	busyCUs := 0
-	cuBusy := false
-	per := c.cfg.Topology.CoresPerCU
-	for u := 0; u < c.cfg.Topology.NumCUs; u++ {
-		for l := 0; l < per; l++ {
-			if c.Busy(u*per + l) {
-				busyCUs++
-				if u == cu {
-					cuBusy = true
-				}
-				break
-			}
-		}
+	return c.cuBusyCores[cu] > 0 && c.busyCUs <= maxBusy
+}
+
+// anyBoosting reports whether at least one CU is boosting this tick (the
+// shared-rail voltage pull). Equivalent to ∃u: boosting(u).
+func (c *Chip) anyBoosting() bool {
+	if !c.cfg.BoostEnabled || c.topBusyCUs == 0 {
+		return false
 	}
-	return cuBusy && busyCUs <= maxBusy
+	maxBusy, tMax := c.boostLimits()
+	return c.therm.TempK() < tMax && c.busyCUs <= maxBusy
 }
 
 // Bind places a thread of the benchmark on a hardware core (the taskset
@@ -288,15 +390,18 @@ func (c *Chip) Bind(core int, b *workload.Benchmark, restart bool) error {
 	if c.cores[core].thread != nil {
 		return fmt.Errorf("fxsim: core %d already busy", core)
 	}
-	fTop := c.cfg.Topology.VF.Point(c.cfg.Topology.VF.Top()).Freq
-	c.cores[core].thread = uarch.NewCore(b, fTop)
+	c.cores[core].thread = uarch.NewCore(b, c.fTopGHz)
 	c.cores[core].bench = b
 	c.cores[core].restart = restart
+	c.markBusy(core)
 	return nil
 }
 
 // Unbind removes any thread from a core.
 func (c *Chip) Unbind(core int) {
+	if c.Busy(core) {
+		c.markIdle(core)
+	}
 	c.cores[core].thread = nil
 	c.cores[core].bench = nil
 	c.cores[core].restart = false
@@ -316,79 +421,87 @@ func (c *Chip) Busy(core int) bool {
 }
 
 // AllIdle reports whether no core has active work.
-func (c *Chip) AllIdle() bool {
-	for i := range c.cores {
-		if c.Busy(i) {
-			return false
-		}
-	}
-	return true
-}
+func (c *Chip) AllIdle() bool { return c.busyCUs == 0 }
 
 // siblingBusy reports whether the other core of this core's CU is busy.
 func (c *Chip) siblingBusy(core int) bool {
-	per := c.cfg.Topology.CoresPerCU
-	if per < 2 {
+	if c.cfg.Topology.CoresPerCU < 2 {
 		return false
 	}
-	cu := c.cfg.Topology.CUOf(core)
-	for l := 0; l < per; l++ {
-		other := cu*per + l
-		if other != core && c.Busy(other) {
-			return true
-		}
+	n := c.cuBusyCores[c.cfg.Topology.CUOf(core)]
+	if c.Busy(core) {
+		n--
 	}
-	return false
+	return n > 0
 }
 
 // cuGated reports whether a CU is power gated this tick.
 func (c *Chip) cuGated(cu int) bool {
-	if !c.cfg.PowerGating {
-		return false
-	}
-	base := cu * c.cfg.Topology.CoresPerCU
-	for i := 0; i < c.cfg.Topology.CoresPerCU; i++ {
-		if c.Busy(base + i) {
-			return false
-		}
-	}
-	return true
+	return c.cfg.PowerGating && c.cuBusyCores[cu] == 0
 }
 
 // nbGated reports whether the NB is gated (all CUs gated).
 func (c *Chip) nbGated() bool {
-	if !c.cfg.PowerGating {
-		return false
-	}
-	for cu := 0; cu < c.cfg.Topology.NumCUs; cu++ {
-		if !c.cuGated(cu) {
-			return false
-		}
-	}
-	return true
+	return c.cfg.PowerGating && c.busyCUs == 0
 }
 
-// snapshotVF records the per-core VF states for the current interval.
+// snapshotVF records the per-core VF states for the current interval into
+// the chip's reusable buffer (ReadInterval copies it out, so handed-out
+// intervals never alias it).
 func (c *Chip) snapshotVF() {
-	c.intervalVF = make([]arch.VFState, len(c.cores))
-	for i := range c.cores {
+	for i := range c.intervalVF {
 		c.intervalVF[i] = c.pstates[c.cfg.Topology.CUOf(i)]
 	}
 }
 
+// cuCoeffs returns the memoised power-model coefficients for a CU at the
+// given operating point, refreshing the entry when the point moved
+// (P-state change, rail change, or boost entry/exit). The memo is keyed
+// by value because boost can flip a CU's point between consecutive ticks
+// without any Set* call.
+func (c *Chip) cuCoeffs(cu int, v, f float64) *cuOpCache {
+	m := &c.cuOp[cu]
+	if !m.ok || m.v != v || m.f != f {
+		m.v, m.f = v, f
+		m.dyn = c.cfg.Power.CoreDynCoeffsAt(v, f)
+		m.leakVolt = c.cfg.Power.CULeakVoltScale(v)
+		m.ok = true
+	}
+	return m
+}
+
 // Tick advances the chip by one 1 ms step: runs every bound thread,
 // accumulates counters, computes true power, advances thermals, and takes
-// a sensor sample every 20 ms.
-func (c *Chip) Tick() {
+// a sensor sample every 20 ms. The tick loop is allocation-free: the
+// power breakdown lives in chip-owned scratch buffers and all
+// operating-point coefficients come from caches that Set*/Bind/Unbind
+// keep current.
+func (c *Chip) Tick() { c.tick() }
+
+// TickN advances the chip by n ticks. The per-tick loop invariants (NB
+// latency params, operating-point coefficients, busy counters) are
+// persistent caches on the chip rather than per-call hoists, so batched
+// ticking costs exactly n times one tick with no warm-up; TickN exists so
+// hot callers (Collect, HeatCool, the PG sweeps, the daemon) express
+// "advance one measurement window" as a single call.
+func (c *Chip) TickN(n int) {
+	for i := 0; i < n; i++ {
+		c.tick()
+	}
+}
+
+func (c *Chip) tick() {
 	if c.tickCount == 0 {
 		// First tick of a fresh interval: record the P-states it runs
 		// under (controllers change states at interval boundaries).
 		c.snapshotVF()
 	}
-	lat := c.cfg.NB.Snapshot(c.lastUtil)
+	lat := c.nbLat.Snapshot(c.lastUtil)
 	var nbAct powertruth.NBActivity
-	var breakdown powertruth.Breakdown
-	breakdown.CoreDynW = make([]float64, len(c.cores))
+	breakdown := powertruth.Breakdown{
+		CoreDynW: c.scratchDyn,
+		CULeakW:  c.scratchLeak[:0],
+	}
 
 	anyAwake := !c.nbGated()
 	maxFreq := 0.0
@@ -420,37 +533,50 @@ func (c *Chip) Tick() {
 				TLBWalkPS:  r.TLBWalks / TickS,
 				EPIScale:   r.EPIScale,
 			}
-			if r.Finished && slot.restart {
-				fTop := c.cfg.Topology.VF.Point(c.cfg.Topology.VF.Top()).Freq
-				slot.thread = uarch.NewCore(slot.bench, fTop)
+			if r.Finished {
+				if slot.restart {
+					slot.thread = uarch.NewCore(slot.bench, c.fTopGHz)
+				} else {
+					// Later cores this same tick must observe the finished
+					// thread as idle (sibling/boost/gating checks), exactly
+					// as the per-core Busy() scans used to report it.
+					c.markIdle(i)
+				}
 			}
 		} else {
 			act = powertruth.Activity{Halted: true}
-			if c.cfg.PowerGating && c.cuGated(cu) {
+			if c.cuGated(cu) {
 				// Gated: no clock power at all.
 				breakdown.CoreDynW[i] = 0
 				continue
 			}
 		}
-		breakdown.CoreDynW[i] = c.cfg.Power.CoreDynamicW(act, v, f)
+		breakdown.CoreDynW[i] = c.cfg.Power.CoreDynamicWWith(c.cuCoeffs(cu, v, f).dyn, act)
 	}
 
 	tK := c.therm.TempK()
+	tempScale := c.cfg.Power.LeakTempScale(tK)
 	for cu := 0; cu < c.cfg.Topology.NumCUs; cu++ {
+		v := c.railVoltage(cu)
+		var voltScale float64
+		if m := &c.cuOp[cu]; m.ok && m.v == v {
+			voltScale = m.leakVolt
+		} else {
+			voltScale = c.cfg.Power.CULeakVoltScale(v)
+		}
 		breakdown.CULeakW = append(breakdown.CULeakW,
-			c.cfg.Power.CULeakageW(c.railVoltage(cu), tK, c.cuGated(cu)))
+			c.cfg.Power.CULeakageWWith(voltScale, tempScale, c.cuGated(cu)))
 	}
 	gatedNB := c.nbGated()
 	if gatedNB {
 		breakdown.NBDynW = 0
 	} else {
-		breakdown.NBDynW = c.cfg.Power.NBDynamicW(nbAct, c.nbPoint.Voltage, c.nbPoint.Freq)
+		breakdown.NBDynW = c.cfg.Power.NBDynamicWWith(c.nbDyn, nbAct)
 	}
-	breakdown.NBLeakW = c.cfg.Power.NBLeakageW(c.nbPoint.Voltage, tK, gatedNB)
+	breakdown.NBLeakW = c.cfg.Power.NBLeakageWWith(c.nbLeakVolt, tempScale, gatedNB)
 	breakdown.BaseW = c.cfg.Power.BaseW
 	if anyAwake {
-		fTop := c.cfg.Topology.VF.Point(c.cfg.Topology.VF.Top()).Freq
-		breakdown.HousekW = c.cfg.Power.HousekeepingDynW(c.railVoltage(0), maxFreq, fTop)
+		breakdown.HousekW = c.cfg.Power.HousekeepingDynW(c.railVoltage(0), maxFreq, c.fTopGHz)
 	}
 
 	totalW := breakdown.TotalW()
@@ -502,10 +628,12 @@ func (c *Chip) CounterFile(core int) *pmc.CounterFile {
 func (c *Chip) ReadInterval() trace.Interval {
 	dur := float64(c.tickCount) * TickS
 	iv := trace.Interval{
-		TimeS:     c.timeS,
-		DurS:      dur,
-		TempK:     c.TempK(),
-		PerCoreVF: c.intervalVF,
+		TimeS: c.timeS,
+		DurS:  dur,
+		TempK: c.TempK(),
+		// The chip reuses intervalVF across intervals; the handed-out
+		// record must own its snapshot.
+		PerCoreVF: append([]arch.VFState(nil), c.intervalVF...),
 	}
 	for i := range c.cores {
 		iv.Counters = append(iv.Counters, c.cores[i].mux.ReadInterval(dur*1000))

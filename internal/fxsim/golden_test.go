@@ -1,0 +1,118 @@
+package fxsim
+
+import (
+	"testing"
+
+	"ppep/internal/arch"
+	"ppep/internal/trace"
+	"ppep/internal/workload"
+)
+
+// The golden fingerprints below were recorded from the straightforward
+// (allocation-per-tick, uncached) tick-loop implementation. They pin the
+// simulator's determinism guarantee: for a fixed SensorSeed, every
+// optimization of the tick loop must reproduce bit-identical
+// trace.Interval sequences — counters, powers, temperatures, VF
+// snapshots — across all operating modes (shared rail, power gating,
+// boost, per-CU planes, restart, idle transients).
+//
+// If one of these fails after an intentional *behavioural* change to the
+// simulator physics, re-record it and say so in the commit; a failure
+// after a performance-only change is a regression.
+var goldenCollect = []struct {
+	name string
+	want uint64
+	run  func(t *testing.T) *trace.Trace
+}{
+	{
+		name: "shared-rail 433x4 @VF3",
+		want: 0x3fa780921d47346b,
+		run: func(t *testing.T) *trace.Trace {
+			cfg := DefaultFX8320Config()
+			chip := New(cfg)
+			tr, err := chip.Collect(workload.MultiInstance("433", 4),
+				RunOpts{VF: arch.VF3, WarmTempK: 315, Placement: PlaceScatter})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return tr
+		},
+	},
+	{
+		name: "power-gated 433x1 @VF2",
+		want: 0xa921e1427fb03389,
+		run: func(t *testing.T) *trace.Trace {
+			cfg := DefaultFX8320Config()
+			cfg.PowerGating = true
+			cfg.SensorSeed = 7
+			chip := New(cfg)
+			tr, err := chip.Collect(workload.MultiInstance("433", 1),
+				RunOpts{VF: arch.VF2, Placement: PlaceScatter})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return tr
+		},
+	},
+	{
+		name: "boost 458x1 @VF5",
+		want: 0x5b920da60a1b14fe,
+		run: func(t *testing.T) *trace.Trace {
+			cfg := DefaultFX8320Config()
+			cfg.BoostEnabled = true
+			cfg.SensorSeed = 11
+			chip := New(cfg)
+			tr, err := chip.Collect(workload.MultiInstance("458", 1),
+				RunOpts{VF: arch.VF5, WarmTempK: 310, Placement: PlaceScatter})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return tr
+		},
+	},
+	{
+		name: "per-CU planes restart 433x2 @VF4",
+		want: 0x545e68a8edbbb47b,
+		run: func(t *testing.T) *trace.Trace {
+			cfg := DefaultFX8320Config()
+			cfg.PerCUPlanes = true
+			cfg.SensorSeed = 13
+			chip := New(cfg)
+			tr, err := chip.Collect(workload.MultiInstance("433", 2),
+				RunOpts{VF: arch.VF4, Restart: true, MaxTimeS: 2, Placement: PlaceCompact})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return tr
+		},
+	},
+	{
+		name: "heatcool transient @VF4",
+		want: 0xcf31f202c61e7994,
+		run: func(t *testing.T) *trace.Trace {
+			cfg := DefaultFX8320Config()
+			cfg.SensorSeed = 17
+			chip := New(cfg)
+			tr, err := chip.HeatCool(arch.VF4, 40, 90)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return tr
+		},
+	},
+}
+
+// TestGoldenCollectEquivalence verifies that fixed-seed runs reproduce the
+// recorded interval fingerprints exactly (see goldenCollect).
+func TestGoldenCollectEquivalence(t *testing.T) {
+	for _, tc := range goldenCollect {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			tr := tc.run(t)
+			if got := tr.Fingerprint(); got != tc.want {
+				t.Errorf("fingerprint %#x, want %#x: fixed-seed run diverged from the golden interval sequence", got, tc.want)
+			}
+		})
+	}
+}

@@ -114,9 +114,7 @@ func (c *Chip) Collect(r workload.Run, opts RunOpts) (*trace.Trace, error) {
 	ticksPerInterval := arch.DecisionIntervalMS
 	start := c.timeS
 	for {
-		for i := 0; i < ticksPerInterval; i++ {
-			c.Tick()
-		}
+		c.TickN(ticksPerInterval)
 		iv := c.ReadInterval()
 		tr.Intervals = append(tr.Intervals, iv)
 		if opts.Controller != nil {
@@ -150,9 +148,14 @@ func (c *Chip) HeatCool(vf arch.VFState, heatS, coolS float64) (*trace.Trace, er
 	if _, err := c.PlaceRun(heater, PlaceCompact, true); err != nil {
 		return nil, err
 	}
+	// The float accumulation decides the tick count (kept for bit-exact
+	// compatibility with recorded traces), but the ticks themselves run
+	// batched.
+	heatTicks := 0
 	for t := 0.0; t < heatS; t += TickS {
-		c.Tick()
+		heatTicks++
 	}
+	c.TickN(heatTicks)
 	c.UnbindAll()
 	c.ReadInterval() // discard the heating interval
 
@@ -162,9 +165,14 @@ func (c *Chip) HeatCool(vf arch.VFState, heatS, coolS float64) (*trace.Trace, er
 	}
 	tr := &trace.Trace{Run: fmt.Sprintf("heatcool-%v", vf), Suite: "micro", Platform: c.cfg.Topology.Name}
 	ticks := int(coolS / TickS)
-	for i := 0; i < ticks; i++ {
-		c.Tick()
-		if (i+1)%arch.DecisionIntervalMS == 0 {
+	for done := 0; done < ticks; {
+		n := arch.DecisionIntervalMS
+		if rem := ticks - done; rem < n {
+			n = rem
+		}
+		c.TickN(n)
+		done += n
+		if n == arch.DecisionIntervalMS {
 			tr.Intervals = append(tr.Intervals, c.ReadInterval())
 		}
 	}

@@ -98,9 +98,46 @@ type Latencies struct {
 // L2 with an active sibling core.
 const L2SiblingPenaltyCycles = 7.0
 
+// LatencyParams captures the NB-clock-derived latency terms that are
+// invariant while the NB operating point holds, so the simulator's tick
+// loop can derive per-tick Latencies without re-dividing by the NB clock
+// tens of millions of times per campaign. Recompute after any change to
+// the NB's frequency or latency fields.
+type LatencyParams struct {
+	L3NS       float64 // L3 hit latency at the current NB clock
+	DRAMBaseNS float64 // controller + DRAM core latency, unqueued
+	QueueKnee  float64
+	MaxUtil    float64
+}
+
+// LatencyParams returns the hoisted snapshot terms for the current point.
+func (nb *NB) LatencyParams() LatencyParams {
+	return LatencyParams{
+		L3NS:       nb.L3Cycles / nb.FreqGHz,
+		DRAMBaseNS: nb.CtrlCycles/nb.FreqGHz + nb.DRAMFixedNS,
+		QueueKnee:  nb.QueueKnee,
+		MaxUtil:    nb.MaxUtil,
+	}
+}
+
+// Snapshot computes the per-tick latency pair from the hoisted params; it
+// applies exactly the clamping and queueing formula of NB.DRAMLatencyNS.
+func (p LatencyParams) Snapshot(util float64) Latencies {
+	if util < 0 {
+		util = 0
+	}
+	if util > p.MaxUtil {
+		util = p.MaxUtil
+	}
+	return Latencies{
+		L3NS:   p.L3NS,
+		DRAMNS: p.DRAMBaseNS * (1 + p.QueueKnee*util/(1-util)),
+	}
+}
+
 // Snapshot computes the latency pair for the given utilization.
 func (nb *NB) Snapshot(util float64) Latencies {
-	return Latencies{L3NS: nb.L3HitLatencyNS(), DRAMNS: nb.DRAMLatencyNS(util)}
+	return nb.LatencyParams().Snapshot(util)
 }
 
 // LeadingLoadNSPerInst returns the per-instruction leading-load (exposed

@@ -148,13 +148,26 @@ func (c *Config) switchScale(v float64) float64 {
 	return r * r * (1 + c.ShortCircuitK*(v-c.VRef))
 }
 
-// CoreDynamicW returns one core's true dynamic power at voltage v and
-// frequency fGHz given its activity.
-func (c *Config) CoreDynamicW(a Activity, v, fGHz float64) float64 {
-	scale := c.switchScale(v)
-	clock := c.ClockWPerGHz * fGHz * (v / c.VRef) * (v / c.VRef)
+// CoreDynCoeffs are the operating-point factors of the core dynamic power
+// model. They depend only on (V, f), so the simulator caches them across
+// ticks while a CU's operating point holds.
+type CoreDynCoeffs struct {
+	Scale  float64 // switching-energy voltage scale
+	ClockW float64 // clock-tree power at (V, f)
+}
+
+// CoreDynCoeffsAt precomputes the coefficients for one operating point.
+func (c *Config) CoreDynCoeffsAt(v, fGHz float64) CoreDynCoeffs {
+	return CoreDynCoeffs{
+		Scale:  c.switchScale(v),
+		ClockW: c.ClockWPerGHz * fGHz * (v / c.VRef) * (v / c.VRef),
+	}
+}
+
+// CoreDynamicWWith is CoreDynamicW with the operating-point terms hoisted.
+func (c *Config) CoreDynamicWWith(k CoreDynCoeffs, a Activity) float64 {
 	if a.Halted {
-		return clock * c.HaltedClockFrac
+		return k.ClockW * c.HaltedClockFrac
 	}
 	var nj float64
 	for i := 0; i < 8; i++ {
@@ -168,36 +181,86 @@ func (c *Config) CoreDynamicW(a Activity, v, fGHz float64) float64 {
 		epi = 1
 	}
 	// nJ/s = nW; convert to W.
-	return nj*1e-9*scale*epi + clock
+	return nj*1e-9*k.Scale*epi + k.ClockW
+}
+
+// CoreDynamicW returns one core's true dynamic power at voltage v and
+// frequency fGHz given its activity.
+func (c *Config) CoreDynamicW(a Activity, v, fGHz float64) float64 {
+	return c.CoreDynamicWWith(c.CoreDynCoeffsAt(v, fGHz), a)
+}
+
+// NBDynCoeffs are the NB-operating-point factors of NBDynamicW, cacheable
+// while the NB point holds (it changes only via SetNBPoint).
+type NBDynCoeffs struct {
+	Scale  float64
+	ClockW float64
+}
+
+// NBDynCoeffsAt precomputes the NB coefficients for one operating point.
+func (c *Config) NBDynCoeffsAt(nbV, nbF float64) NBDynCoeffs {
+	r := nbV / c.NBVRef
+	scale := r * r
+	return NBDynCoeffs{Scale: scale, ClockW: c.NBClockWPerGHz * nbF * scale}
+}
+
+// NBDynamicWWith is NBDynamicW with the operating-point terms hoisted.
+func (c *Config) NBDynamicWWith(k NBDynCoeffs, nb NBActivity) float64 {
+	nj := c.L3AccessNJ*nb.L3AccessPS + c.DRAMAccessNJ*nb.DRAMPS
+	return nj*1e-9*k.Scale + k.ClockW
 }
 
 // NBDynamicW returns the NB's true dynamic power at NB voltage nbV and
 // frequency nbF.
 func (c *Config) NBDynamicW(nb NBActivity, nbV, nbF float64) float64 {
-	r := nbV / c.NBVRef
-	scale := r * r
-	clock := c.NBClockWPerGHz * nbF * scale
-	nj := c.L3AccessNJ*nb.L3AccessPS + c.DRAMAccessNJ*nb.DRAMPS
-	return nj*1e-9*scale + clock
+	return c.NBDynamicWWith(c.NBDynCoeffsAt(nbV, nbF), nb)
+}
+
+// LeakTempScale returns the temperature factor of the leakage model. The
+// CU and NB terms share the same T exponent, so the simulator computes it
+// once per tick for all five leakage evaluations.
+func (c *Config) LeakTempScale(tK float64) float64 {
+	return math.Exp(c.LeakTExp * (tK - c.T0K))
+}
+
+// CULeakVoltScale returns the core-rail voltage factor of CU leakage,
+// constant while the rail voltage holds.
+func (c *Config) CULeakVoltScale(v float64) float64 {
+	return math.Exp(c.LeakVExp * (v - c.VRef))
+}
+
+// NBLeakVoltScale returns the NB-rail voltage factor of NB leakage.
+func (c *Config) NBLeakVoltScale(nbV float64) float64 {
+	return math.Exp(c.LeakVExp * (nbV - c.NBVRef))
+}
+
+// CULeakageWWith assembles CU leakage from precomputed factors.
+func (c *Config) CULeakageWWith(voltScale, tempScale float64, gated bool) float64 {
+	w := c.CULeakW * voltScale * tempScale
+	if gated {
+		w *= c.GateResid
+	}
+	return w
+}
+
+// NBLeakageWWith assembles NB leakage from precomputed factors.
+func (c *Config) NBLeakageWWith(voltScale, tempScale float64, gated bool) float64 {
+	w := c.NBLeakW * voltScale * tempScale
+	if gated {
+		w *= c.GateResid
+	}
+	return w
 }
 
 // CULeakageW returns one compute unit's leakage at core voltage v and
 // temperature tK. Gated CUs retain GateResid of their leakage.
 func (c *Config) CULeakageW(v, tK float64, gated bool) float64 {
-	w := c.CULeakW * math.Exp(c.LeakVExp*(v-c.VRef)) * math.Exp(c.LeakTExp*(tK-c.T0K))
-	if gated {
-		w *= c.GateResid
-	}
-	return w
+	return c.CULeakageWWith(c.CULeakVoltScale(v), c.LeakTempScale(tK), gated)
 }
 
 // NBLeakageW returns the NB's leakage at its voltage and temperature.
 func (c *Config) NBLeakageW(nbV, tK float64, gated bool) float64 {
-	w := c.NBLeakW * math.Exp(c.LeakVExp*(nbV-c.NBVRef)) * math.Exp(c.LeakTExp*(tK-c.T0K))
-	if gated {
-		w *= c.GateResid
-	}
-	return w
+	return c.NBLeakageWWith(c.NBLeakVoltScale(nbV), c.LeakTempScale(tK), gated)
 }
 
 // HousekeepingDynW returns the OS background power at core voltage v and

@@ -45,6 +45,18 @@ type Core struct {
 	fTop float64
 
 	finished bool
+
+	// Tick-loop memos. The position-locked jitter draws are constant
+	// within one jitter segment and the EPI scale within one phase, so
+	// both are cached between ticks; every refresh recomputes exactly
+	// the value the uncached path produced (the simulator's fixed-seed
+	// golden tests pin this bit-for-bit).
+	jitSeg   int64
+	jitOK    bool
+	jitG0    [numJitterDims]float64 // hashGauss at the segment start
+	jitG1    [numJitterDims]float64 // hashGauss at the segment end
+	epiPhase *workload.Phase
+	epiVal   float64
 }
 
 // NewCore binds a thread of the benchmark to a fresh core context.
@@ -138,7 +150,7 @@ func (c *Core) Step(fGHz, dtS float64, lat mem.Latencies) TickResult {
 		Events:       ev,
 		Prefetches:   r.Prefetch * inst,
 		TLBWalks:     r.TLBWalk * inst,
-		EPIScale:     epiScale(c.Bench.Name, phase.Name),
+		EPIScale:     c.epiFor(phase),
 		L3Accesses:   r.L2Miss * inst,
 		DRAMAccesses: r.L2Miss * phase.L3MissRatio * inst,
 		Finished:     c.finished,
@@ -157,6 +169,8 @@ const (
 	dimMispred
 	dimL2Miss
 	dimBaseCPI
+
+	numJitterDims = dimBaseCPI + 1
 )
 
 // jitteredRates applies position-locked jitter and the frequency
@@ -197,6 +211,8 @@ func (c *Core) jitteredRates(p *workload.Phase, fGHz float64) workload.Rates {
 // jitterMul returns the smooth position-locked jitter multiplier for one
 // dimension: exp(σ·g(position)), with g a piecewise-linear interpolation
 // of per-segment Gaussian draws keyed by (benchmark, dimension, segment).
+// The draws bounding the current segment are cached on the core — a
+// segment spans many ticks, so the hashing cost amortizes to near zero.
 func (c *Core) jitterMul(dim int, sigma float64) float64 {
 	if sigma <= 0 || c.segLen <= 0 {
 		return 1
@@ -204,10 +220,42 @@ func (c *Core) jitterMul(dim int, sigma float64) float64 {
 	pos := c.Done / c.segLen
 	seg := int64(pos)
 	frac := pos - float64(seg)
-	g0 := hashGauss(c.Bench.Name, dim, seg)
-	g1 := hashGauss(c.Bench.Name, dim, seg+1)
-	g := g0*(1-frac) + g1*frac
+	if !c.jitOK || seg != c.jitSeg {
+		c.refreshJitter(seg)
+	}
+	g := c.jitG0[dim]*(1-frac) + c.jitG1[dim]*frac
 	return math.Exp(sigma * g)
+}
+
+// refreshJitter recomputes the Gaussian draws bounding the given segment
+// for every jitter dimension. Advancing by exactly one segment — the
+// common case — reuses the trailing draws as the new leading ones.
+func (c *Core) refreshJitter(seg int64) {
+	if c.jitOK && seg == c.jitSeg+1 {
+		c.jitG0 = c.jitG1
+		for d := 0; d < numJitterDims; d++ {
+			c.jitG1[d] = hashGauss(c.Bench.Name, d, seg+1)
+		}
+	} else {
+		for d := 0; d < numJitterDims; d++ {
+			c.jitG0[d] = hashGauss(c.Bench.Name, d, seg)
+			c.jitG1[d] = hashGauss(c.Bench.Name, d, seg+1)
+		}
+	}
+	c.jitSeg = seg
+	c.jitOK = true
+}
+
+// epiFor memoises epiScale per phase: the phase pointer is stable for the
+// benchmark's lifetime and epiScale depends only on the two names, so the
+// string concatenation and hashing run once per phase transition instead
+// of every tick.
+func (c *Core) epiFor(p *workload.Phase) float64 {
+	if c.epiPhase != p {
+		c.epiVal = epiScale(c.Bench.Name, p.Name)
+		c.epiPhase = p
+	}
+	return c.epiVal
 }
 
 // epiScale returns the hidden per-phase energy modulation: a stable

@@ -1,21 +1,40 @@
 # PPEP reproduction — common targets.
 
 GO ?= go
+LINT_STATS := /tmp/ppeplint-stats.json
 
-.PHONY: all test bench bench-all experiments fmt vet tools
+.PHONY: all test lint fmt-check ci bench bench-all experiments flagship fmt vet tools
 
 all: test
 
-test:
+test: lint
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/fxsim/... ./internal/experiments/...
+	$(GO) test -race ./...
+
+# ppeplint: the module's own static-analysis suite (internal/lint).
+# Non-zero exit on any unsuppressed finding; see docs/LINTING.md.
+lint:
+	$(GO) run ./cmd/ppeplint
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# The full merge gate, mirrored by .github/workflows/ci.yml.
+ci: fmt-check
+	$(GO) vet ./...
+	$(GO) run ./cmd/ppeplint
+	$(GO) test -race ./...
 
 # Tick-loop microbenchmarks, summarized into a committable JSON record
-# (mean over -count=5 samples; see cmd/benchjson).
+# (mean over -count=5 samples; see cmd/benchjson). The ppeplint run's
+# package count and wall time ride along under the "ppeplint" key.
 bench:
+	$(GO) run ./cmd/ppeplint -stats $(LINT_STATS)
 	$(GO) test -run xxx -bench '^(BenchmarkChipTick|BenchmarkTickN|BenchmarkEventPrediction)$$' \
-		-benchmem -count=5 . | $(GO) run ./cmd/benchjson > BENCH_fxsim.json
+		-benchmem -count=5 . | $(GO) run ./cmd/benchjson -lint $(LINT_STATS) > BENCH_fxsim.json
+	rm -f $(LINT_STATS)
 	cat BENCH_fxsim.json
 
 # Every benchmark, including the figure/table regenerations.

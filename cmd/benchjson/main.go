@@ -9,11 +9,18 @@
 // Repeated samples of the same benchmark (from -count) are averaged; the
 // GOMAXPROCS suffix (-8) is stripped so names stay comparable between
 // machines.
+//
+// With -lint <file>, the ppeplint statistics JSON written by
+// `ppeplint -stats` is merged into the output under the "ppeplint" key,
+// so static-analysis cost (packages analyzed, wall time) is tracked in
+// BENCH_fxsim.json alongside the tick-loop numbers.
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"regexp"
@@ -57,6 +64,9 @@ func mean(xs []float64) float64 {
 }
 
 func main() {
+	lintPath := flag.String("lint", "", "merge a ppeplint -stats JSON file into the output")
+	flag.Parse()
+
 	results := map[string]*result{}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -99,14 +109,28 @@ func main() {
 		os.Exit(1)
 	}
 
-	out := map[string]summary{}
+	out := map[string]json.RawMessage{}
 	for name, r := range results {
-		out[name] = summary{
+		rec, _ := json.Marshal(summary{ // records are plain structs; marshal cannot fail
 			NsPerOp:     mean(r.ns),
 			BytesPerOp:  mean(r.bytes),
 			AllocsPerOp: mean(r.allocs),
 			Samples:     len(r.ns),
+		})
+		out[name] = rec
+	}
+	if *lintPath != "" {
+		data, err := os.ReadFile(*lintPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
 		}
+		var compact bytes.Buffer
+		if err := json.Compact(&compact, data); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *lintPath, err)
+			os.Exit(1)
+		}
+		out["ppeplint"] = compact.Bytes()
 	}
 	names := make([]string, 0, len(out))
 	for n := range out {
@@ -117,13 +141,12 @@ func main() {
 	var b strings.Builder
 	b.WriteString("{\n")
 	for i, n := range names {
-		rec, _ := json.Marshal(out[n])
-		fmt.Fprintf(&b, "  %q: %s", n, rec)
+		fmt.Fprintf(&b, "  %q: %s", n, out[n])
 		if i < len(names)-1 {
 			b.WriteString(",")
 		}
 		b.WriteString("\n")
 	}
 	b.WriteString("}\n")
-	os.Stdout.WriteString(b.String())
+	fmt.Print(b.String())
 }

@@ -89,11 +89,14 @@ func main() {
 		}
 		title := fmt.Sprintf("PPEP reproduction results (scale %.2f)", *scale)
 		if err := experiments.WriteMarkdown(f, title, all); err != nil {
-			f.Close()
+			_ = f.Close() // already exiting on the write error
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		f.Close()
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		fmt.Printf("wrote Markdown report to %s\n", *md)
 	}
 

@@ -38,7 +38,7 @@ func main() {
 		os.Exit(1)
 	}
 	models, err := core.LoadModels(mf)
-	mf.Close()
+	_ = mf.Close() // read-only handle; close errors carry no data
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -52,7 +52,7 @@ func main() {
 			os.Exit(1)
 		}
 		tr, err := trace.ReadCSV(tf)
-		tf.Close()
+		_ = tf.Close() // read-only handle; close errors carry no data
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
 			os.Exit(1)

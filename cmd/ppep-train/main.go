@@ -77,11 +77,14 @@ func main() {
 			os.Exit(1)
 		}
 		if err := camp.Models.Save(f); err != nil {
-			f.Close()
+			_ = f.Close() // already exiting on the write error
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		f.Close()
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		fmt.Printf("\nwrote model coefficients to %s\n", *save)
 	}
 
@@ -99,11 +102,14 @@ func main() {
 				os.Exit(1)
 			}
 			if err := rt.Trace.WriteCSV(f); err != nil {
-				f.Close()
+				_ = f.Close() // already exiting on the write error
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
-			f.Close()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
 			n++
 		}
 		fmt.Printf("\nwrote %d CSV traces to %s\n", n, *csvDir)

@@ -47,7 +47,7 @@ func main() {
 			os.Exit(1)
 		}
 		models, err = core.LoadModels(f)
-		f.Close()
+		_ = f.Close() // read-only handle; close errors carry no data
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -87,12 +87,14 @@ func main() {
 	case "energy":
 		ctl = policyFunc(func(ch *fxsim.Chip, iv trace.Interval) {
 			if rep, err := models.Analyze(iv); err == nil {
+				// a rejected P-state request leaves the previous state; retried next tick
 				_ = ch.SetAllPStates(dvfs.EnergyOptimal(rep))
 			}
 		})
 	case "edp":
 		ctl = policyFunc(func(ch *fxsim.Chip, iv trace.Interval) {
 			if rep, err := models.Analyze(iv); err == nil {
+				// a rejected P-state request leaves the previous state; retried next tick
 				_ = ch.SetAllPStates(dvfs.EDPOptimal(rep))
 			}
 		})

@@ -1,0 +1,82 @@
+// Command ppeplint runs the module's custom static-analysis suite
+// (internal/lint): hotpath allocation-freedom, simulation determinism,
+// worker-pool safety, and dropped-error checks. It is stdlib-only and
+// exits non-zero on any unsuppressed finding, so `make lint` / `make ci`
+// can gate merges on it. See docs/LINTING.md.
+//
+// Usage:
+//
+//	ppeplint [-C dir] [-stats file] [patterns...]
+//
+// Patterns default to ./... relative to -C (default: current directory).
+// -stats writes a small JSON record (analyzed package count, findings,
+// suppressions, wall time) consumed by cmd/benchjson.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"ppep/internal/lint"
+)
+
+type stats struct {
+	AnalyzedPackages int   `json:"analyzed_packages"`
+	Findings         int   `json:"findings"`
+	Suppressed       int   `json:"suppressed"`
+	WallMS           int64 `json:"wall_ms"`
+}
+
+func main() {
+	dir := flag.String("C", ".", "directory to run in (module root or below)")
+	statsPath := flag.String("stats", "", "write run statistics as JSON to this file")
+	flag.Parse()
+
+	start := time.Now()
+	m, err := lint.Load(*dir, flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ppeplint:", err)
+		os.Exit(2)
+	}
+	findings := m.Run(lint.DefaultConfig(m.Path))
+	wall := time.Since(start)
+
+	cwd, _ := os.Getwd() // best-effort; empty cwd falls back to absolute paths
+	for _, f := range findings {
+		name := f.Pos.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, name); err == nil && !filepath.IsAbs(rel) {
+				name = rel
+			}
+		}
+		fmt.Printf("%s:%d: [%s] %s\n", name, f.Pos.Line, f.Analyzer, f.Message)
+	}
+
+	if *statsPath != "" {
+		s := stats{
+			AnalyzedPackages: len(m.Packages),
+			Findings:         len(findings),
+			Suppressed:       m.Suppressed(),
+			WallMS:           wall.Milliseconds(),
+		}
+		b, err := json.MarshalIndent(s, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*statsPath, append(b, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ppeplint: writing stats:", err)
+			os.Exit(2)
+		}
+	}
+
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "ppeplint: %d finding(s) in %d package(s)\n", len(findings), len(m.Packages))
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "ppeplint: ok (%d packages, %d suppression(s), %dms)\n",
+		len(m.Packages), m.Suppressed(), wall.Milliseconds())
+}

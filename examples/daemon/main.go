@@ -51,6 +51,7 @@ func main() {
 	}
 
 	policy := daemon.PolicyFunc(func(ch *fxsim.Chip, iv trace.Interval, rep *core.Report) {
+		// a rejected P-state request leaves the previous state; retried next tick
 		_ = ch.SetAllPStates(dvfs.EDPOptimal(rep))
 	})
 	d, err := daemon.Attach(chip, &models, policy)

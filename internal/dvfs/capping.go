@@ -70,6 +70,7 @@ func (p *PPEPCapper) Decide(chip *fxsim.Chip, iv trace.Interval) {
 		assign = p.chooseAssignment(iv, topo, capW*(1-margin))
 	}
 	for cu, s := range assign {
+		// out-of-range requests are clamped by the chip; nothing to handle
 		_ = chip.SetPState(cu, s)
 	}
 	p.History = append(p.History, CapStep{
@@ -235,6 +236,7 @@ func (c *IterativeCapper) Decide(chip *fxsim.Chip, iv trace.Interval) {
 		}
 	}
 	for cu, s := range states {
+		// out-of-range requests are clamped by the chip; nothing to handle
 		_ = chip.SetPState(cu, s)
 	}
 	c.History = append(c.History, CapStep{

@@ -57,6 +57,7 @@ type StaticGovernor struct {
 
 // Decide implements fxsim.Controller.
 func (g *StaticGovernor) Decide(chip *fxsim.Chip, iv trace.Interval) {
+	// a rejected request leaves the previous state; retried next interval
 	_ = chip.SetAllPStates(g.State)
 	g.record(chip, iv)
 }
@@ -97,8 +98,10 @@ func (g *OnDemandGovernor) Decide(chip *fxsim.Chip, iv trace.Interval) {
 	cur := chip.PState(0)
 	switch {
 	case util >= up:
+		// a rejected request leaves the previous state; retried next interval
 		_ = chip.SetAllPStates(tbl.Top())
 	case util <= down && cur > tbl.Bottom():
+		// a rejected request leaves the previous state; retried next interval
 		_ = chip.SetAllPStates(cur - 1)
 	}
 	g.record(chip, iv)
@@ -114,6 +117,7 @@ type PPEPEnergyGovernor struct {
 // Decide implements fxsim.Controller.
 func (g *PPEPEnergyGovernor) Decide(chip *fxsim.Chip, iv trace.Interval) {
 	if rep, err := g.Models.Analyze(iv); err == nil {
+		// a rejected request leaves the previous state; retried next interval
 		_ = chip.SetAllPStates(EnergyOptimal(rep))
 	}
 	g.record(chip, iv)
@@ -128,6 +132,7 @@ type PPEPEDPGovernor struct {
 // Decide implements fxsim.Controller.
 func (g *PPEPEDPGovernor) Decide(chip *fxsim.Chip, iv trace.Interval) {
 	if rep, err := g.Models.Analyze(iv); err == nil {
+		// a rejected request leaves the previous state; retried next interval
 		_ = chip.SetAllPStates(EDPOptimal(rep))
 	}
 	g.record(chip, iv)

@@ -162,7 +162,14 @@ func (c *Campaign) Fig3() (*Result, *Result, error) {
 	chipErrs := map[pair][]float64{}
 
 	for _, fm := range folds {
+		// Iterate test runs in sorted order: the per-pair error slices
+		// feed FP means, so fill order must not follow map order.
+		names := make([]string, 0, len(fm.testNames))
 		for name := range fm.testNames {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
 			traces := c.ByName[name]
 			for _, from := range c.Table.States() {
 				src := traces[from]

@@ -165,7 +165,7 @@ func New(cfg Config) *Chip {
 		cuPoints:    make([]arch.VFPoint, cfg.Topology.NumCUs),
 		cuOp:        make([]cuOpCache, cfg.Topology.NumCUs),
 		scratchDyn:  make([]float64, cfg.Topology.NumCores()),
-		scratchLeak: make([]float64, 0, cfg.Topology.NumCUs),
+		scratchLeak: make([]float64, cfg.Topology.NumCUs),
 	}
 	if cfg.IdealSensor {
 		c.sensor = sensor.Ideal()
@@ -476,6 +476,8 @@ func (c *Chip) cuCoeffs(cu int, v, f float64) *cuOpCache {
 // power breakdown lives in chip-owned scratch buffers and all
 // operating-point coefficients come from caches that Set*/Bind/Unbind
 // keep current.
+//
+//ppep:hotpath
 func (c *Chip) Tick() { c.tick() }
 
 // TickN advances the chip by n ticks. The per-tick loop invariants (NB
@@ -484,6 +486,8 @@ func (c *Chip) Tick() { c.tick() }
 // ticking costs exactly n times one tick with no warm-up; TickN exists so
 // hot callers (Collect, HeatCool, the PG sweeps, the daemon) express
 // "advance one measurement window" as a single call.
+//
+//ppep:hotpath
 func (c *Chip) TickN(n int) {
 	for i := 0; i < n; i++ {
 		c.tick()
@@ -500,7 +504,7 @@ func (c *Chip) tick() {
 	var nbAct powertruth.NBActivity
 	breakdown := powertruth.Breakdown{
 		CoreDynW: c.scratchDyn,
-		CULeakW:  c.scratchLeak[:0],
+		CULeakW:  c.scratchLeak,
 	}
 
 	anyAwake := !c.nbGated()
@@ -535,7 +539,7 @@ func (c *Chip) tick() {
 			}
 			if r.Finished {
 				if slot.restart {
-					slot.thread = uarch.NewCore(slot.bench, c.fTopGHz)
+					slot.thread = uarch.NewCore(slot.bench, c.fTopGHz) //ppep:allow hotpath restart path runs once per thread completion, not per tick
 				} else {
 					// Later cores this same tick must observe the finished
 					// thread as idle (sibling/boost/gating checks), exactly
@@ -564,8 +568,7 @@ func (c *Chip) tick() {
 		} else {
 			voltScale = c.cfg.Power.CULeakVoltScale(v)
 		}
-		breakdown.CULeakW = append(breakdown.CULeakW,
-			c.cfg.Power.CULeakageWWith(voltScale, tempScale, c.cuGated(cu)))
+		breakdown.CULeakW[cu] = c.cfg.Power.CULeakageWWith(voltScale, tempScale, c.cuGated(cu))
 	}
 	gatedNB := c.nbGated()
 	if gatedNB {

@@ -1,0 +1,146 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// allowDirective is one parsed //ppep:allow comment.
+type allowDirective struct {
+	analyzer string
+	reason   string
+	pos      token.Position
+	// fromLine..toLine is the suppression range: the directive's own
+	// line and the next (trailing and standalone forms), or the whole
+	// function when the directive sits in a doc comment.
+	fromLine, toLine int
+	used             bool
+}
+
+// scanDirectives parses //ppep:hotpath and //ppep:allow comments in one
+// package, marking hot-path roots, registering suppressions, and
+// reporting malformed directives as findings.
+func (m *Module) scanDirectives(pkg *Package) {
+	for _, f := range pkg.Files {
+		docOf := map[*ast.CommentGroup]*ast.FuncDecl{}
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Doc != nil {
+				docOf[fd.Doc] = fd
+			}
+		}
+		for _, cg := range f.Comments {
+			fd := docOf[cg]
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, "//ppep:") {
+					continue
+				}
+				pos := m.Fset.Position(c.Pos())
+				rest := strings.TrimPrefix(text, "//ppep:")
+				switch {
+				case rest == "hotpath" || strings.HasPrefix(rest, "hotpath "):
+					m.markHotpath(pkg, fd, pos)
+				case rest == "allow" || strings.HasPrefix(rest, "allow "):
+					m.addAllow(fd, pos, strings.TrimPrefix(rest, "allow"))
+				default:
+					m.directiveFindings = append(m.directiveFindings, Finding{
+						Pos: pos, Analyzer: "directive",
+						Message: fmt.Sprintf("unknown directive %q (known: //ppep:hotpath, //ppep:allow)", text),
+					})
+				}
+			}
+		}
+	}
+}
+
+func (m *Module) markHotpath(pkg *Package, fd *ast.FuncDecl, pos token.Position) {
+	if fd == nil {
+		m.directiveFindings = append(m.directiveFindings, Finding{
+			Pos: pos, Analyzer: "directive",
+			Message: "//ppep:hotpath must appear in a function's doc comment",
+		})
+		return
+	}
+	if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+		if node := m.Funcs[obj.FullName()]; node != nil {
+			node.Hot = true
+		}
+	}
+}
+
+func (m *Module) addAllow(fd *ast.FuncDecl, pos token.Position, rest string) {
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		m.directiveFindings = append(m.directiveFindings, Finding{
+			Pos: pos, Analyzer: "directive",
+			Message: "//ppep:allow needs an analyzer name and a reason: //ppep:allow <analyzer> <reason>",
+		})
+		return
+	}
+	if !knownAnalyzer[fields[0]] {
+		m.directiveFindings = append(m.directiveFindings, Finding{
+			Pos: pos, Analyzer: "directive",
+			Message: fmt.Sprintf("//ppep:allow names unknown analyzer %q", fields[0]),
+		})
+		return
+	}
+	a := &allowDirective{
+		analyzer: fields[0],
+		reason:   strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), fields[0])),
+		pos:      pos,
+		fromLine: pos.Line,
+		toLine:   pos.Line + 1,
+	}
+	if fd != nil {
+		a.fromLine = m.Fset.Position(fd.Pos()).Line
+		a.toLine = m.Fset.Position(fd.End()).Line
+	}
+	m.allows[pos.Filename] = append(m.allows[pos.Filename], a)
+}
+
+// allowedAt reports whether a finding by the analyzer at pos is
+// suppressed, marking the matching directive as used.
+func (m *Module) allowedAt(analyzer string, pos token.Position) bool {
+	for _, a := range m.allows[pos.Filename] {
+		if a.analyzer == analyzer && pos.Line >= a.fromLine && pos.Line <= a.toLine {
+			a.used = true
+			m.suppressed++
+			return true
+		}
+	}
+	return false
+}
+
+// emit appends a finding unless an //ppep:allow directive covers it.
+func (m *Module) emit(fs *[]Finding, analyzer string, pos token.Pos, format string, args ...any) {
+	p := m.Fset.Position(pos)
+	if m.allowedAt(analyzer, p) {
+		return
+	}
+	*fs = append(*fs, Finding{Pos: p, Analyzer: analyzer, Message: fmt.Sprintf(format, args...)})
+}
+
+// unusedAllows reports //ppep:allow directives for the given analyzers
+// that suppressed nothing, so stale exceptions are cleaned up rather
+// than silently accumulating.
+func (m *Module) unusedAllows(analyzers ...string) []Finding {
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a] = true
+	}
+	var fs []Finding
+	for _, as := range m.allows {
+		for _, a := range as {
+			if !a.used && ran[a.analyzer] {
+				fs = append(fs, Finding{
+					Pos: a.pos, Analyzer: a.analyzer,
+					Message: "unused //ppep:allow suppression (no finding here; delete it)",
+				})
+			}
+		}
+	}
+	return fs
+}

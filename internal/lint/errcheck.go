@@ -1,0 +1,230 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// runErrcheck flags error returns that are silently dropped:
+//
+//   - an expression statement calling a function whose (only or last)
+//     result is an error
+//   - an assignment discarding an error into _ without an adjacent
+//     justification comment (same line or the line above; ppep
+//     directives and fixture want-comments don't count)
+//
+// Writers that cannot fail (or whose failure is conventionally ignored)
+// are excluded: fmt.Print/Printf/Println, fmt.Fprint* into
+// *bytes.Buffer / *strings.Builder / hash writers or to
+// os.Stdout/os.Stderr, and methods on those same always-succeed types.
+func runErrcheck(m *Module) []Finding {
+	var fs []Finding
+	for _, pkg := range m.Packages {
+		for _, f := range pkg.Files {
+			comments := commentLines(m.Fset, f)
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.ExprStmt:
+					call, ok := ast.Unparen(n.X).(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if !returnsError(pkg.Info, call) || exempt(pkg.Info, call) {
+						return true
+					}
+					m.emit(&fs, "errcheck", n.Pos(),
+						"error return of %s is silently dropped", callName(pkg.Info, call))
+				case *ast.AssignStmt:
+					checkBlankErr(m, pkg, n, comments, &fs)
+				}
+				return true
+			})
+		}
+	}
+	return fs
+}
+
+// checkBlankErr flags `_ = call()` / `v, _ := call()` discarding an error
+// without a justification comment on the same line or the line above.
+func checkBlankErr(m *Module, pkg *Package, n *ast.AssignStmt, comments map[int]bool, fs *[]Finding) {
+	// Single call with multiple results: _ positions map to result types.
+	var resultAt func(i int) types.Type
+	if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+		call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		tup, ok := pkg.Info.TypeOf(call).(*types.Tuple)
+		if !ok || tup.Len() != len(n.Lhs) {
+			return
+		}
+		if exempt(pkg.Info, call) {
+			return
+		}
+		resultAt = func(i int) types.Type { return tup.At(i).Type() }
+	} else if len(n.Lhs) == len(n.Rhs) {
+		resultAt = func(i int) types.Type {
+			if call, ok := ast.Unparen(n.Rhs[i]).(*ast.CallExpr); ok {
+				if exempt(pkg.Info, call) {
+					return nil
+				}
+				return pkg.Info.TypeOf(call)
+			}
+			return nil
+		}
+	} else {
+		return
+	}
+
+	for i, lhs := range n.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			continue
+		}
+		t := resultAt(i)
+		if t == nil || !isErrorType(t) {
+			continue
+		}
+		line := m.Fset.Position(n.Pos()).Line
+		if comments[line] || comments[line-1] {
+			continue // justified
+		}
+		m.emit(fs, "errcheck", n.Pos(),
+			"error discarded into _ without a justification comment")
+	}
+}
+
+// commentLines records lines carrying a justification-capable comment.
+// ppep directives and analyzer-test want-comments are excluded so they
+// cannot double as justifications.
+func commentLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	out := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimLeft(c.Text, "/* "))
+			if strings.HasPrefix(c.Text, "//ppep:") || strings.HasPrefix(text, "want ") {
+				continue
+			}
+			start := fset.Position(c.Pos()).Line
+			end := fset.Position(c.End()).Line
+			for l := start; l <= end; l++ {
+				out[l] = true
+			}
+		}
+	}
+	return out
+}
+
+// returnsError reports whether the call's only or last result is error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	t := info.TypeOf(call)
+	switch t := t.(type) {
+	case *types.Tuple:
+		return t.Len() > 0 && isErrorType(t.At(t.Len()-1).Type())
+	default:
+		return isErrorType(t)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return t.String() == "error" && types.IsInterface(t)
+}
+
+// alwaysSucceedTypes are receiver / writer types whose Write-family
+// methods are documented never to return a non-nil error.
+func alwaysSucceedType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() {
+	case "bytes":
+		return obj.Name() == "Buffer"
+	case "strings":
+		return obj.Name() == "Builder"
+	case "hash":
+		return true
+	}
+	// hash.Hash implementations (fnv, crc32, ...) embed hash.Hash; their
+	// concrete types live in hash/* packages.
+	return strings.HasPrefix(obj.Pkg().Path(), "hash/")
+}
+
+// isStdStream reports whether the expression is os.Stdout or os.Stderr —
+// terminal diagnostics whose write errors are conventionally ignored.
+func isStdStream(info *types.Info, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := info.Uses[sel.Sel].(*types.Var)
+	if !ok || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == "os" && (obj.Name() == "Stdout" || obj.Name() == "Stderr")
+}
+
+// exempt reports whether a call's dropped error is conventionally safe:
+// fmt printing to stdout, fmt.Fprint* into an always-succeeding writer,
+// or a method on such a writer (including hash.Hash values).
+func exempt(info *types.Info, call *ast.CallExpr) bool {
+	obj := calleeOf(info, call)
+	if obj == nil || obj.Pkg() == nil {
+		// Method calls through interfaces (hash.Hash.Write) resolve via
+		// Selections; check the receiver expression type.
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if alwaysSucceedType(info.TypeOf(sel.X)) {
+				return true
+			}
+		}
+		return false
+	}
+	if obj.Pkg().Path() == "fmt" {
+		switch obj.Name() {
+		case "Print", "Printf", "Println":
+			return true
+		case "Fprint", "Fprintf", "Fprintln":
+			if len(call.Args) > 0 && (alwaysSucceedType(info.TypeOf(call.Args[0])) ||
+				isStdStream(info, call.Args[0])) {
+				return true
+			}
+		}
+	}
+	if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if alwaysSucceedType(sig.Recv().Type()) {
+			return true
+		}
+		// Receiver may be the hash.Hash interface itself.
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if alwaysSucceedType(info.TypeOf(sel.X)) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func callName(info *types.Info, call *ast.CallExpr) string {
+	if obj := calleeOf(info, call); obj != nil {
+		if obj.Pkg() != nil {
+			return obj.Pkg().Name() + "." + obj.Name()
+		}
+		return obj.Name()
+	}
+	return "call"
+}

@@ -1,0 +1,330 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// lockMethods are the sync primitives a hot-path function must not call.
+var lockMethods = map[string]bool{
+	"Lock": true, "Unlock": true, "RLock": true, "RUnlock": true,
+	"Do": true, "Wait": true, "TryLock": true, "TryRLock": true,
+}
+
+// runHotpath checks every //ppep:hotpath root and, transitively, every
+// module function it calls, for constructs that heap-allocate, block, or
+// are nondeterministic:
+//
+//   - make / new / append and slice or map composite literals
+//   - &T{...} (composite literals whose address escapes)
+//   - non-constant string concatenation and string<->[]byte/[]rune
+//     conversions
+//   - boxing a non-pointer value into an interface (assignments and
+//     call arguments), and variadic calls (they allocate the arg slice)
+//   - closures, defer, go, and channel operations
+//   - any call into fmt, time.Now/time.Since, and sync lock methods
+//   - dynamic calls (interface methods, function values), which the
+//     analyzer cannot follow
+//
+// Plain struct/array value literals are permitted: they are stack
+// constructions unless their address escapes, which the &T{...} and
+// boxing checks catch. Calls into other standard-library packages (math,
+// math/rand methods, hash, ...) are trusted not to allocate; the
+// transitive walk covers module code only.
+//
+// An //ppep:allow hotpath directive on a call line also stops the
+// transitive walk into that callee — the sanctioned escape hatch for
+// amortized slow paths (constructors on thread completion, per-phase
+// memo refreshes).
+func runHotpath(m *Module) []Finding {
+	h := &hotChecker{m: m, visited: map[string]bool{}}
+	var roots []*FuncNode
+	for _, fn := range m.Funcs {
+		if fn.Hot {
+			roots = append(roots, fn)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool {
+		return roots[i].Obj.FullName() < roots[j].Obj.FullName()
+	})
+	for _, r := range roots {
+		h.visit(r, r)
+	}
+	return h.findings
+}
+
+type hotChecker struct {
+	m        *Module
+	findings []Finding
+	visited  map[string]bool
+}
+
+// shortName renders a function for messages, without the module prefix.
+func (h *hotChecker) shortName(fn *FuncNode) string {
+	name := fn.Obj.FullName()
+	// Trim "modulepath/" to keep messages readable.
+	return trimModule(name, h.m.Path)
+}
+
+func trimModule(s, modPath string) string {
+	out := ""
+	for i := 0; i < len(s); {
+		if j := i + len(modPath) + 1; j <= len(s) && s[i:j] == modPath+"/" {
+			i = j
+			for i < len(s) && s[i] != '.' && s[i] != ')' {
+				out += string(s[i])
+				i++
+			}
+			continue
+		}
+		out += string(s[i])
+		i++
+	}
+	return out
+}
+
+func (h *hotChecker) visit(fn, root *FuncNode) {
+	full := fn.Obj.FullName()
+	if h.visited[full] {
+		return
+	}
+	h.visited[full] = true
+	if fn.Decl.Body == nil {
+		return
+	}
+	where := "in " + h.shortName(fn)
+	if fn != root {
+		where += ", reached from hot-path root " + h.shortName(root)
+	}
+	info := fn.Pkg.Info
+
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			h.emit(n.Pos(), "go statement on the hot path (%s)", where)
+		case *ast.DeferStmt:
+			h.emit(n.Pos(), "defer on the hot path (may allocate, always costs) (%s)", where)
+		case *ast.SendStmt:
+			h.emit(n.Pos(), "channel send blocks the hot path (%s)", where)
+		case *ast.FuncLit:
+			h.emit(n.Pos(), "closure may allocate on the hot path (%s)", where)
+		case *ast.UnaryExpr:
+			switch n.Op {
+			case token.AND:
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					h.emit(n.Pos(), "&composite literal escapes to the heap (%s)", where)
+				}
+			case token.ARROW:
+				h.emit(n.Pos(), "channel receive blocks the hot path (%s)", where)
+			}
+		case *ast.CompositeLit:
+			if t := info.TypeOf(n); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					h.emit(n.Pos(), "slice/map literal allocates (%s)", where)
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringType(info.TypeOf(n)) && info.Types[n].Value == nil {
+				h.emit(n.Pos(), "string concatenation allocates (%s)", where)
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringType(info.TypeOf(n.Lhs[0])) {
+				h.emit(n.Pos(), "string concatenation allocates (%s)", where)
+			}
+			h.checkBoxingAssign(info, n, where)
+		case *ast.CallExpr:
+			h.checkCall(info, n, root, where)
+		}
+		return true
+	})
+}
+
+func (h *hotChecker) emit(pos token.Pos, format string, args ...any) {
+	h.m.emit(&h.findings, "hotpath", pos, format, args...)
+}
+
+// checkBoxingAssign flags assignments that convert a concrete non-pointer
+// value into an interface (runtime boxing allocates).
+func (h *hotChecker) checkBoxingAssign(info *types.Info, n *ast.AssignStmt, where string) {
+	if n.Tok != token.ASSIGN || len(n.Lhs) != len(n.Rhs) {
+		return
+	}
+	for i := range n.Lhs {
+		lt := info.TypeOf(n.Lhs[i])
+		rt := info.TypeOf(n.Rhs[i])
+		if lt == nil || rt == nil || !types.IsInterface(lt) {
+			continue
+		}
+		if boxes(rt) {
+			h.emit(n.Rhs[i].Pos(), "boxing %s into interface %s allocates (%s)", rt, lt, where)
+		}
+	}
+}
+
+// boxes reports whether converting a value of type t to an interface
+// requires a heap allocation. Pointer-shaped values (pointers, channels,
+// funcs, unsafe.Pointer, and interfaces themselves) do not.
+func boxes(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Signature, *types.Interface:
+		return false
+	case *types.Basic:
+		return u.Kind() != types.UnsafePointer && u.Kind() != types.UntypedNil
+	default:
+		return true
+	}
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// calleeOf resolves a call expression to its static *types.Func, or nil
+// for indirect calls through function values.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[f].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[f.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+func (h *hotChecker) checkCall(info *types.Info, n *ast.CallExpr, root *FuncNode, where string) {
+	tv := info.Types[n.Fun]
+	switch {
+	case tv.IsType(): // conversion
+		if len(n.Args) == 1 && convAllocates(tv.Type, info.TypeOf(n.Args[0])) {
+			h.emit(n.Pos(), "conversion to %s allocates (%s)", tv.Type, where)
+		}
+		return
+	case tv.IsBuiltin():
+		if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+			switch id.Name {
+			case "make", "new", "append":
+				h.emit(n.Pos(), "%s allocates (%s)", id.Name, where)
+			}
+		}
+		return
+	}
+
+	obj := calleeOf(info, n)
+	if obj == nil {
+		h.emit(n.Pos(), "indirect call cannot be verified allocation-free (%s)", where)
+		return
+	}
+	sig, _ := obj.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil && types.IsInterface(sig.Recv().Type()) {
+		h.emit(n.Pos(), "dynamic call %s cannot be verified allocation-free (%s)", obj.Name(), where)
+		return
+	}
+	pkg := obj.Pkg()
+	if pkg == nil {
+		return // universe scope (error.Error on named error types, etc.)
+	}
+	full := obj.FullName()
+	switch {
+	case pkg.Path() == "fmt":
+		h.emit(n.Pos(), "call to %s formats and allocates (%s)", full, where)
+		return
+	case full == "time.Now" || full == "time.Since":
+		h.emit(n.Pos(), "%s on the hot path is slow and nondeterministic (%s)", full, where)
+		return
+	case pkg.Path() == "sync" && lockMethods[obj.Name()]:
+		h.emit(n.Pos(), "%s takes a lock on the hot path (%s)", full, where)
+		return
+	}
+
+	if sig != nil {
+		h.checkCallArgs(info, n, sig, where)
+	}
+
+	if h.m.inModule(pkg.Path()) {
+		// An allow on the call line is a sanctioned boundary: the callee
+		// is excluded from the transitive walk.
+		if h.m.allowedAt("hotpath", h.m.Fset.Position(n.Pos())) {
+			return
+		}
+		callee := h.m.Funcs[full]
+		if callee == nil {
+			h.emit(n.Pos(), "no source found for %s called on the hot path (%s)", full, where)
+			return
+		}
+		h.visit(callee, root)
+	}
+}
+
+// checkCallArgs flags variadic calls (the argument slice allocates) and
+// arguments boxed into interface parameters.
+func (h *hotChecker) checkCallArgs(info *types.Info, n *ast.CallExpr, sig *types.Signature, where string) {
+	plen := sig.Params().Len()
+	if sig.Variadic() && n.Ellipsis == token.NoPos && len(n.Args) >= plen {
+		h.emit(n.Pos(), "variadic call allocates its argument slice (%s)", where)
+	}
+	for i, arg := range n.Args {
+		var pt types.Type
+		switch {
+		case i < plen-1 || (!sig.Variadic() && i < plen):
+			pt = sig.Params().At(i).Type()
+		case sig.Variadic() && n.Ellipsis == token.NoPos:
+			if sl, ok := sig.Params().At(plen - 1).Type().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case sig.Variadic():
+			pt = sig.Params().At(plen - 1).Type()
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		at := info.TypeOf(arg)
+		if at == nil || types.IsInterface(at) {
+			continue
+		}
+		if boxes(at) {
+			h.emit(arg.Pos(), "passing %s as interface %s allocates (%s)", at, pt, where)
+		}
+	}
+}
+
+// convAllocates reports whether the conversion to `to` from `from`
+// allocates: string<->[]byte/[]rune both ways, and integer->string.
+func convAllocates(to, from types.Type) bool {
+	if to == nil || from == nil {
+		return false
+	}
+	toStr, fromStr := isStringType(to), isStringType(from)
+	if toStr && byteOrRuneSlice(from) {
+		return true
+	}
+	if fromStr && byteOrRuneSlice(to) {
+		return true
+	}
+	if toStr && !fromStr {
+		if b, ok := from.Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func byteOrRuneSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

@@ -1,0 +1,153 @@
+// Package lint implements ppeplint, the module's custom static-analysis
+// suite. It is built only on the standard library (go/parser, go/ast,
+// go/types, go/importer and the go command for export data) and enforces
+// the properties the simulator's runtime tests (TestTickZeroAlloc, the
+// golden fingerprints, the -race runs) can only spot-check:
+//
+//   - hotpath: functions annotated //ppep:hotpath — and everything they
+//     transitively call inside the module — must not allocate, call fmt,
+//     read the wall clock, or take locks. This is the compile-time form
+//     of the 200 ms online-prediction budget (PAPER.md §1).
+//   - determinism: the simulation packages must not use time.Now or the
+//     globally-seeded math/rand, and must not iterate maps when the loop
+//     body has order-dependent effects, so fixed seeds keep producing
+//     bit-identical campaigns.
+//   - poolsafety: bodies dispatched onto the bounded worker pool
+//     (forEachJob) may write only their own index of pre-sized slices,
+//     package-level or shared captured state only under a lock.
+//   - errcheck: no silently dropped error returns; discarding via `_ =`
+//     requires an adjacent justification comment.
+//
+// Exceptions are declared in the source as
+//
+//	//ppep:allow <analyzer> <reason>
+//
+// which suppresses findings on the directive's line (trailing form), the
+// following line (standalone form), or the whole function (doc-comment
+// form). Unused suppressions are themselves findings, so stale
+// exceptions cannot linger. See docs/LINTING.md.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"path"
+	"sort"
+)
+
+// Finding is one analyzer report.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the finding as "file:line: [analyzer] message".
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Analyzer, f.Message)
+}
+
+// Config selects analyzer scopes. The zero value runs hotpath and
+// errcheck only; DefaultConfig covers the full suite for this module.
+type Config struct {
+	// DeterminismPkgs is the set of import paths the determinism
+	// analyzer covers.
+	DeterminismPkgs map[string]bool
+	// PoolFuncNames are the module functions treated as worker-pool
+	// dispatchers: the poolsafety analyzer checks the func literal
+	// passed as their last argument.
+	PoolFuncNames map[string]bool
+}
+
+// DefaultConfig returns the analyzer scope for this repository: the
+// simulation and campaign packages are determinism-checked (including the
+// sensor/stats/workload RNG users, which must stay on seeded *rand.Rand),
+// and forEachJob is the worker-pool dispatcher.
+func DefaultConfig(modulePath string) Config {
+	pkgs := map[string]bool{}
+	for _, p := range []string{
+		"internal/fxsim",
+		"internal/experiments",
+		"internal/powertruth",
+		"internal/uarch",
+		"internal/mem",
+		"internal/sensor",
+		"internal/stats",
+		"internal/workload",
+	} {
+		pkgs[path.Join(modulePath, p)] = true
+	}
+	return Config{
+		DeterminismPkgs: pkgs,
+		PoolFuncNames:   map[string]bool{"forEachJob": true},
+	}
+}
+
+// AnalyzerNames lists every analyzer, in report order. "directive" covers
+// the directive parser's own findings (malformed or unknown directives).
+var AnalyzerNames = []string{"hotpath", "determinism", "poolsafety", "errcheck", "directive"}
+
+var knownAnalyzer = map[string]bool{
+	"hotpath":     true,
+	"determinism": true,
+	"poolsafety":  true,
+	"errcheck":    true,
+	"directive":   true,
+}
+
+// Run executes the full suite and returns the surviving findings sorted
+// by position. Suppressed findings count toward Suppressed(); allow
+// directives that suppressed nothing are reported as findings.
+func (m *Module) Run(cfg Config) []Finding {
+	var fs []Finding
+	fs = append(fs, m.directiveFindings...)
+	fs = append(fs, runHotpath(m)...)
+	fs = append(fs, runDeterminism(m, cfg)...)
+	fs = append(fs, runPoolSafety(m, cfg)...)
+	fs = append(fs, runErrcheck(m)...)
+	fs = append(fs, m.unusedAllows("hotpath", "determinism", "poolsafety", "errcheck")...)
+	sortFindings(fs)
+	return fs
+}
+
+// RunAnalyzer executes a single analyzer (plus its unused-suppression
+// check), used by the fixture tests to exercise analyzers in isolation.
+func (m *Module) RunAnalyzer(name string, cfg Config) []Finding {
+	var fs []Finding
+	switch name {
+	case "hotpath":
+		fs = runHotpath(m)
+	case "determinism":
+		fs = runDeterminism(m, cfg)
+	case "poolsafety":
+		fs = runPoolSafety(m, cfg)
+	case "errcheck":
+		fs = runErrcheck(m)
+	case "directive":
+		fs = append(fs, m.directiveFindings...)
+	}
+	if name != "directive" {
+		fs = append(fs, m.unusedAllows(name)...)
+	}
+	sortFindings(fs)
+	return fs
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}

@@ -1,0 +1,88 @@
+// Package determinism is an analyzer fixture: wall-clock reads, global
+// math/rand use, and order-dependent map iteration, next to the sorted
+// and seeded shapes the analyzer must accept.
+package determinism
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Seeded draws from an explicitly seeded generator: accepted.
+func Seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+func Clocked() float64 {
+	t := time.Now() // want "wall clock"
+	return float64(t.Unix())
+}
+
+func GlobalRand() float64 {
+	return rand.Float64() // want "global math/rand.Float64"
+}
+
+// SumMap accumulates floats in map order: the total's low bits change
+// run to run.
+func SumMap(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want "accumulates into a float"
+		total += v
+	}
+	return total
+}
+
+// CollectUnsorted emits values in map order.
+func CollectUnsorted(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want "appends to a slice"
+		out = append(out, v)
+	}
+	return out
+}
+
+// CollectSorted gathers keys and sorts before use: accepted.
+func CollectSorted(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// KeyedWrites copies map-to-map: every iteration writes its own slot, so
+// order cannot matter.
+func KeyedWrites(m map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[k] += v
+	}
+	return out
+}
+
+// PerIterationLocals resets its accumulator each iteration: accepted.
+func PerIterationLocals(m map[string][]float64) int {
+	n := 0
+	for _, vs := range m {
+		s := 0.0
+		for _, v := range vs {
+			s += v
+		}
+		if s > 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// DebugDump is order-dependent on purpose; the allow keeps it visible.
+func DebugDump(m map[string]int) {
+	//ppep:allow determinism debug dump; ordering is cosmetic
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}

@@ -1,0 +1,18 @@
+// Package directives is an analyzer fixture for the directive parser
+// itself: malformed and misplaced //ppep: comments are findings.
+package directives
+
+// want "unknown directive"
+//ppep:frobnicate
+
+// want "needs an analyzer name and a reason"
+//ppep:allow
+
+// want "unknown analyzer \"nosuch\""
+//ppep:allow nosuch the analyzer name is misspelled
+
+func Misplaced() {
+	// want "must appear in a function's doc comment"
+	//ppep:hotpath
+	_ = 1
+}

@@ -1,0 +1,56 @@
+// Package errcheck is an analyzer fixture: dropped and blank-discarded
+// error returns, next to the justified and always-succeeding shapes the
+// analyzer must accept.
+package errcheck
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func fallible() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, errors.New("boom") }
+
+func Dropped() {
+	fallible() // want "error return of errcheck.fallible is silently dropped"
+}
+
+func BlankNoComment() {
+	_ = fallible() // want "without a justification comment"
+}
+
+func BlankJustified() {
+	// best-effort cleanup; the result is unused either way
+	_ = fallible()
+}
+
+func PairBlank() int {
+	v, _ := pair() // want "without a justification comment"
+	return v
+}
+
+func PairHandled() int {
+	v, err := pair()
+	if err != nil {
+		return -1
+	}
+	return v
+}
+
+// Writers documented never to fail, and terminal diagnostics: accepted.
+func Exempt() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "x=%d", 1)
+	b.WriteString("!")
+	fmt.Fprintln(os.Stderr, "progress")
+	fmt.Println("done")
+	return b.String()
+}
+
+// want "unused //ppep:allow suppression"
+//
+//ppep:allow errcheck nothing here actually drops an error
+func NoDropHere() int { return 42 }

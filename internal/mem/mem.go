@@ -74,6 +74,8 @@ func (nb *NB) DRAMLatencyNS(util float64) float64 {
 
 // Utilization converts an aggregate DRAM request rate (requests/second,
 // all cores) into bandwidth utilization.
+//
+//ppep:hotpath
 func (nb *NB) Utilization(dramReqPerSec float64) float64 {
 	if dramReqPerSec <= 0 {
 		return 0
@@ -122,6 +124,8 @@ func (nb *NB) LatencyParams() LatencyParams {
 
 // Snapshot computes the per-tick latency pair from the hoisted params; it
 // applies exactly the clamping and queueing formula of NB.DRAMLatencyNS.
+//
+//ppep:hotpath
 func (p LatencyParams) Snapshot(util float64) Latencies {
 	if util < 0 {
 		util = 0
@@ -144,6 +148,8 @@ func (nb *NB) Snapshot(util float64) Latencies {
 // memory) time for a phase with the given per-instruction L2 miss rate,
 // L3 miss ratio, and MLP. This is the quantity whose core-cycle equivalent
 // the MAB Wait Cycles counter measures.
+//
+//ppep:hotpath
 func LeadingLoadNSPerInst(l2MissPerInst, l3MissRatio, mlp float64, lat Latencies) float64 {
 	if mlp < 1 {
 		mlp = 1

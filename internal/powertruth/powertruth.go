@@ -165,6 +165,8 @@ func (c *Config) CoreDynCoeffsAt(v, fGHz float64) CoreDynCoeffs {
 }
 
 // CoreDynamicWWith is CoreDynamicW with the operating-point terms hoisted.
+//
+//ppep:hotpath
 func (c *Config) CoreDynamicWWith(k CoreDynCoeffs, a Activity) float64 {
 	if a.Halted {
 		return k.ClockW * c.HaltedClockFrac
@@ -205,6 +207,8 @@ func (c *Config) NBDynCoeffsAt(nbV, nbF float64) NBDynCoeffs {
 }
 
 // NBDynamicWWith is NBDynamicW with the operating-point terms hoisted.
+//
+//ppep:hotpath
 func (c *Config) NBDynamicWWith(k NBDynCoeffs, nb NBActivity) float64 {
 	nj := c.L3AccessNJ*nb.L3AccessPS + c.DRAMAccessNJ*nb.DRAMPS
 	return nj*1e-9*k.Scale + k.ClockW
@@ -219,22 +223,30 @@ func (c *Config) NBDynamicW(nb NBActivity, nbV, nbF float64) float64 {
 // LeakTempScale returns the temperature factor of the leakage model. The
 // CU and NB terms share the same T exponent, so the simulator computes it
 // once per tick for all five leakage evaluations.
+//
+//ppep:hotpath
 func (c *Config) LeakTempScale(tK float64) float64 {
 	return math.Exp(c.LeakTExp * (tK - c.T0K))
 }
 
 // CULeakVoltScale returns the core-rail voltage factor of CU leakage,
 // constant while the rail voltage holds.
+//
+//ppep:hotpath
 func (c *Config) CULeakVoltScale(v float64) float64 {
 	return math.Exp(c.LeakVExp * (v - c.VRef))
 }
 
 // NBLeakVoltScale returns the NB-rail voltage factor of NB leakage.
+//
+//ppep:hotpath
 func (c *Config) NBLeakVoltScale(nbV float64) float64 {
 	return math.Exp(c.LeakVExp * (nbV - c.NBVRef))
 }
 
 // CULeakageWWith assembles CU leakage from precomputed factors.
+//
+//ppep:hotpath
 func (c *Config) CULeakageWWith(voltScale, tempScale float64, gated bool) float64 {
 	w := c.CULeakW * voltScale * tempScale
 	if gated {
@@ -244,6 +256,8 @@ func (c *Config) CULeakageWWith(voltScale, tempScale float64, gated bool) float6
 }
 
 // NBLeakageWWith assembles NB leakage from precomputed factors.
+//
+//ppep:hotpath
 func (c *Config) NBLeakageWWith(voltScale, tempScale float64, gated bool) float64 {
 	w := c.NBLeakW * voltScale * tempScale
 	if gated {
@@ -265,6 +279,8 @@ func (c *Config) NBLeakageW(nbV, tK float64, gated bool) float64 {
 
 // HousekeepingDynW returns the OS background power at core voltage v and
 // frequency fGHz (relative to the chip's top frequency fTop).
+//
+//ppep:hotpath
 func (c *Config) HousekeepingDynW(v, fGHz, fTop float64) float64 {
 	r := v / c.VRef
 	return c.HousekeepingW * r * r * (fGHz / fTop)
@@ -281,6 +297,8 @@ type Breakdown struct {
 }
 
 // TotalW sums the breakdown.
+//
+//ppep:hotpath
 func (b *Breakdown) TotalW() float64 {
 	t := b.NBDynW + b.NBLeakW + b.BaseW + b.HousekW
 	for _, w := range b.CoreDynW {

@@ -20,7 +20,6 @@
 package uarch
 
 import (
-	"hash/fnv"
 	"math"
 
 	"ppep/internal/arch"
@@ -105,6 +104,8 @@ type TickResult struct {
 
 // Step advances the core by dtS seconds at frequency fGHz with the given
 // memory latency snapshot, returning the true activity of the tick.
+//
+//ppep:hotpath
 func (c *Core) Step(fGHz, dtS float64, lat mem.Latencies) TickResult {
 	if c.finished || dtS <= 0 {
 		return TickResult{Finished: c.finished}
@@ -181,17 +182,16 @@ func (c *Core) jitteredRates(p *workload.Phase, fGHz float64) workload.Rates {
 	if c.fTop > 0 {
 		df = fGHz/c.fTop - 1
 	}
-	sens := func(i int) float64 { return 1 + fs[i]*df }
 	r := p.PerInst
 	out := workload.Rates{
-		Uops:     r.Uops * c.jitterMul(dimUops, p.Noise) * sens(dimUops),
-		FPU:      r.FPU * c.jitterMul(dimFPU, p.Noise) * sens(dimFPU),
-		ICFetch:  r.ICFetch * c.jitterMul(dimICFetch, p.Noise) * sens(dimICFetch),
-		DCAccess: r.DCAccess * c.jitterMul(dimDCAccess, p.Noise) * sens(dimDCAccess),
-		L2Req:    r.L2Req * c.jitterMul(dimL2Req, p.Noise) * sens(dimL2Req),
-		Branch:   r.Branch * c.jitterMul(dimBranch, p.Noise) * sens(dimBranch),
-		Mispred:  r.Mispred * c.jitterMul(dimMispred, p.Noise) * sens(dimMispred),
-		L2Miss:   r.L2Miss * c.jitterMul(dimL2Miss, p.Noise) * sens(dimL2Miss),
+		Uops:     r.Uops * c.jitterMul(dimUops, p.Noise) * (1 + fs[dimUops]*df),
+		FPU:      r.FPU * c.jitterMul(dimFPU, p.Noise) * (1 + fs[dimFPU]*df),
+		ICFetch:  r.ICFetch * c.jitterMul(dimICFetch, p.Noise) * (1 + fs[dimICFetch]*df),
+		DCAccess: r.DCAccess * c.jitterMul(dimDCAccess, p.Noise) * (1 + fs[dimDCAccess]*df),
+		L2Req:    r.L2Req * c.jitterMul(dimL2Req, p.Noise) * (1 + fs[dimL2Req]*df),
+		Branch:   r.Branch * c.jitterMul(dimBranch, p.Noise) * (1 + fs[dimBranch]*df),
+		Mispred:  r.Mispred * c.jitterMul(dimMispred, p.Noise) * (1 + fs[dimMispred]*df),
+		L2Miss:   r.L2Miss * c.jitterMul(dimL2Miss, p.Noise) * (1 + fs[dimL2Miss]*df),
 		Prefetch: r.Prefetch,
 		TLBWalk:  r.TLBWalk,
 	}
@@ -252,7 +252,7 @@ func (c *Core) refreshJitter(seg int64) {
 // of every tick.
 func (c *Core) epiFor(p *workload.Phase) float64 {
 	if c.epiPhase != p {
-		c.epiVal = epiScale(c.Bench.Name, p.Name)
+		c.epiVal = epiScale(c.Bench.Name, p.Name) //ppep:allow hotpath memoized per phase transition, amortized over the phase's ticks
 		c.epiPhase = p
 	}
 	return c.epiVal
@@ -277,15 +277,23 @@ func epiScale(bench, phase string) float64 {
 // hashGauss produces a deterministic ≈N(0,1) draw from (name, dim, seg)
 // using three hashed uniforms and the central limit theorem.
 func hashGauss(name string, dim int, seg int64) float64 {
-	h := fnv.New64a()
-	h.Write([]byte(name))
-	var buf [9]byte
-	buf[0] = byte(dim)
-	for i := 0; i < 8; i++ {
-		buf[1+i] = byte(seg >> (8 * i))
+	// Inline FNV-1a over (name, dim, seg-LE): byte-identical to feeding
+	// fnv.New64a the same sequence, without the hash.Hash64 allocation.
+	const (
+		fnvOffset64 = 14695981039346656037
+		fnvPrime64  = 1099511628211
+	)
+	x := uint64(fnvOffset64)
+	for i := 0; i < len(name); i++ {
+		x ^= uint64(name[i])
+		x *= fnvPrime64
 	}
-	h.Write(buf[:])
-	x := h.Sum64()
+	x ^= uint64(byte(dim))
+	x *= fnvPrime64
+	for i := 0; i < 8; i++ {
+		x ^= uint64(byte(seg >> (8 * i)))
+		x *= fnvPrime64
+	}
 	var sum float64
 	for salt := 0; salt < 3; salt++ {
 		// splitmix64 finalizer: decorrelates the draws fully even though

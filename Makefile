@@ -3,7 +3,7 @@
 GO ?= go
 LINT_STATS := /tmp/ppeplint-stats.json
 
-.PHONY: all test lint fmt-check ci bench bench-all experiments flagship fmt vet tools
+.PHONY: all test lint fmt-check ci smoke bench bench-all experiments flagship fmt vet tools
 
 all: test
 
@@ -26,13 +26,20 @@ ci: fmt-check
 	$(GO) vet ./...
 	$(GO) run ./cmd/ppeplint
 	$(GO) test -race ./...
+	$(MAKE) smoke
+
+# Service-mode smoke test: the httptest endpoint suite plus the
+# end-to-end faulted-loop integration test, run fresh (-count=1) so a
+# cached `go test ./...` pass can't mask an ppepd -serve regression.
+smoke:
+	$(GO) test -count=1 -run 'TestServe|TestListenAndServe' ./internal/serve
 
 # Tick-loop microbenchmarks, summarized into a committable JSON record
 # (mean over -count=5 samples; see cmd/benchjson). The ppeplint run's
 # package count and wall time ride along under the "ppeplint" key.
 bench:
 	$(GO) run ./cmd/ppeplint -stats $(LINT_STATS)
-	$(GO) test -run xxx -bench '^(BenchmarkChipTick|BenchmarkTickN|BenchmarkEventPrediction)$$' \
+	$(GO) test -run xxx -bench '^(BenchmarkChipTick|BenchmarkTickN|BenchmarkEventPrediction|BenchmarkServeInterval)$$' \
 		-benchmem -count=5 . | $(GO) run ./cmd/benchjson -lint $(LINT_STATS) > BENCH_fxsim.json
 	rm -f $(LINT_STATS)
 	cat BENCH_fxsim.json

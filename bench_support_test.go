@@ -6,8 +6,10 @@ import (
 	"ppep/internal/arch"
 	"ppep/internal/core"
 	"ppep/internal/core/eventpred"
+	"ppep/internal/daemon"
 	"ppep/internal/experiments"
 	"ppep/internal/fxsim"
+	"ppep/internal/serve"
 	"ppep/internal/workload"
 )
 
@@ -51,6 +53,33 @@ func benchmarkTickN(b *testing.B) {
 		chip.TickN(arch.DecisionIntervalMS)
 		chip.ReadInterval()
 	}
+}
+
+// benchmarkServeDaemon assembles the service-mode stack on a busy chip:
+// a history-bounded daemon with the HTTP observability layer wired
+// through OnInterval, exactly as `ppepd -serve` runs it.
+func benchmarkServeDaemon(b *testing.B, c *experiments.Campaign) *daemon.Daemon {
+	b.Helper()
+	cfg := fxsim.DefaultFX8320Config()
+	cfg.IdealSensor = true
+	chip := fxsim.New(cfg)
+	chip.SetTempK(318)
+	long := *workload.BenchA()
+	long.Instructions = 1e18
+	run := workload.Run{Name: "serve", Suite: "micro",
+		Members: []workload.Member{{Bench: &long, Threads: 8}}}
+	if _, err := chip.PlaceRun(run, fxsim.PlaceCompact, true); err != nil {
+		b.Fatal(err)
+	}
+	if err := chip.SetAllPStates(arch.VF5); err != nil {
+		b.Fatal(err)
+	}
+	d, err := daemon.AttachOpts(chip, c.Models, nil, daemon.Options{HistoryCap: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	serve.New(d, serve.Options{})
+	return d
 }
 
 // TestBenchHarnessSmoke keeps the benchmark harness correct under plain

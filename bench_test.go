@@ -202,6 +202,21 @@ func BenchmarkEventPrediction(b *testing.B) {
 	}
 }
 
+// BenchmarkServeInterval measures one service-mode decision interval
+// end to end — MSR window sampling, diode read, PPEP analysis, history
+// push, and the HTTP observer callback — the per-200 ms cost of
+// `ppepd -serve` excluding wall-clock pacing.
+func BenchmarkServeInterval(b *testing.B) {
+	c := benchCampaign(b)
+	d := benchmarkServeDaemon(b, c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.RunIntervals(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkDynEstimate measures one Equation 3 evaluation.
 func BenchmarkDynEstimate(b *testing.B) {
 	c := benchCampaign(b)

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ppep/internal/arch"
+)
+
+// goodFlags is a baseline that must validate.
+func goodFlags() flags {
+	return flags{vf: 5, seconds: 10, scale: 0.05, capW: 70,
+		ring: 512, pace: 200 * time.Millisecond}
+}
+
+func TestFlagValidation(t *testing.T) {
+	if err := goodFlags().validate(arch.FX8320VFTable); err != nil {
+		t.Fatalf("defaults rejected: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		mut  func(*flags)
+		want string // substring of the usage error
+	}{
+		{"vf too low", func(f *flags) { f.vf = 0 }, "-vf"},
+		{"vf too high", func(f *flags) { f.vf = 6 }, "1..5"},
+		{"vf negative", func(f *flags) { f.vf = -3 }, "-vf"},
+		{"zero seconds", func(f *flags) { f.seconds = 0 }, "-seconds"},
+		{"negative seconds", func(f *flags) { f.seconds = -1 }, "-seconds"},
+		{"zero scale", func(f *flags) { f.scale = 0 }, "-scale"},
+		{"negative scale", func(f *flags) { f.scale = -0.1 }, "-scale"},
+		{"zero cap", func(f *flags) { f.capW = 0 }, "-cap"},
+		{"negative ring", func(f *flags) { f.ring = -1 }, "-ring"},
+		{"negative pace", func(f *flags) { f.pace = -time.Second }, "-pace"},
+		{"msr rate 1", func(f *flags) { f.faultMSR = 1 }, "-fault-msr"},
+		{"msr rate negative", func(f *flags) { f.faultMSR = -0.1 }, "-fault-msr"},
+		{"hwmon rate 1.5", func(f *flags) { f.faultHwmon = 1.5 }, "-fault-hwmon"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := goodFlags()
+			tc.mut(&f)
+			err := f.validate(arch.FX8320VFTable)
+			if err == nil {
+				t.Fatal("invalid flags accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not name the offending flag %q", err, tc.want)
+			}
+		})
+	}
+
+	// Boundary values that must be accepted.
+	f := goodFlags()
+	f.vf, f.ring, f.pace = 1, 0, 0
+	f.faultMSR, f.faultHwmon = 0.99, 0
+	if err := f.validate(arch.FX8320VFTable); err != nil {
+		t.Errorf("boundary values rejected: %v", err)
+	}
+}

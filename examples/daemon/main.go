@@ -65,15 +65,16 @@ func main() {
 	}
 
 	fmt.Printf("%-6s %-6s %10s %10s %12s\n", "t(s)", "VF", "meas (W)", "est (W)", "pred EDP-opt")
-	for i, iv := range d.Intervals {
-		rep := d.Reports[i]
+	records := d.Records()
+	for i, rec := range records {
 		if i%4 != 0 {
 			continue
 		}
 		fmt.Printf("%-6.1f %-6v %10.1f %10.1f %12v\n",
-			iv.TimeS, iv.VF(), iv.MeasPowerW, rep.Current().ChipW, dvfs.EDPOptimal(rep))
+			rec.Interval.TimeS, rec.Interval.VF(), rec.Interval.MeasPowerW,
+			rec.Report.Current().ChipW, dvfs.EDPOptimal(rec.Report))
 	}
-	last := d.Intervals[len(d.Intervals)-1]
+	last := records[len(records)-1].Interval
 	fmt.Printf("\nfinal state: %v at %.1f W", last.VF(), last.MeasPowerW)
 	if last.VF() != arch.VF5 {
 		fmt.Printf(" — the policy moved the chip off the top state\n")

@@ -1,7 +1,9 @@
 package daemon
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"ppep/internal/arch"
 	"ppep/internal/core"
@@ -23,72 +25,252 @@ type PolicyFunc func(*fxsim.Chip, trace.Interval, *core.Report)
 // Apply implements Policy.
 func (f PolicyFunc) Apply(c *fxsim.Chip, iv trace.Interval, r *core.Report) { f(c, iv, r) }
 
+// Record pairs one measurement interval with its PPEP analysis.
+type Record struct {
+	// Seq numbers completed intervals from 1, monotonically: ring
+	// eviction never renumbers, so consumers can detect gaps.
+	Seq      uint64         `json:"seq"`
+	Interval trace.Interval `json:"interval"`
+	Report   *core.Report   `json:"report"`
+}
+
+// Options configures the assembled daemon beyond the required pieces.
+type Options struct {
+	// HistoryCap bounds the interval/report history ring. 0 keeps
+	// everything — the batch behaviour finite RunIntervals experiments
+	// expect. A long-running service must set a bound.
+	HistoryCap int
+	// Retry is the bounded retry-with-backoff budget for device register
+	// and diode reads. The zero value means one attempt, no retries.
+	Retry Retry
+}
+
 // Daemon is the assembled PPEP daemon: device-level sampling plus the
 // trained models plus an optional policy.
 type Daemon struct {
 	Models *core.Models
 	Policy Policy
-	// Reports holds one analysis per completed interval.
-	Reports []*core.Report
-	// Intervals holds the device-sampled measurement intervals.
-	Intervals []trace.Interval
+	// OnInterval, when non-nil, is called after every completed interval
+	// (after the policy). The service layer hooks observability here.
+	OnInterval func(Record)
+	// Throttle, when non-nil, is called once per completed or skipped
+	// interval by Run. The service mode uses it to pace simulated
+	// intervals against the wall clock; tests and batch runs leave it
+	// nil and run flat out.
+	Throttle func()
 
 	chip    *fxsim.Chip
 	sampler *Sampler
 	diode   *hwmon.Sensor
+
+	counters  Counters
+	lastTempK float64
+
+	mu      sync.Mutex
+	history *Ring[Record]
+	seq     uint64
 }
 
 // Attach wires the daemon onto a simulated chip through the MSR and
-// hwmon device paths.
+// hwmon device paths with default options (unbounded history, no
+// retries) — the batch-experiment configuration.
 func Attach(chip *fxsim.Chip, models *core.Models, policy Policy) (*Daemon, error) {
+	return AttachOpts(chip, models, policy, Options{})
+}
+
+// AttachOpts is Attach with explicit service options.
+func AttachOpts(chip *fxsim.Chip, models *core.Models, policy Policy, opts Options) (*Daemon, error) {
 	dev := msr.Open(chip)
+	d := &Daemon{
+		Models:  models,
+		Policy:  policy,
+		chip:    chip,
+		diode:   hwmon.Open(chip),
+		history: NewRing[Record](opts.HistoryCap),
+	}
 	sampler, err := NewSampler(dev, chip.Topology().NumCores(), chip.VFTable())
 	if err != nil {
 		return nil, err
 	}
-	return &Daemon{
-		Models:  models,
-		Policy:  policy,
-		chip:    chip,
-		sampler: sampler,
-		diode:   hwmon.Open(chip),
-	}, nil
+	sampler.SetRetry(opts.Retry, &d.counters)
+	d.sampler = sampler
+	d.lastTempK = d.diode.TempK()
+	return d, nil
+}
+
+// Counters returns the daemon's operational counters (live; fields are
+// atomics).
+func (d *Daemon) Counters() *Counters { return &d.counters }
+
+// InjectFaults turns on deterministic transient-fault injection on both
+// device read paths (the service-hardening knob; rates in [0, 1)). Only
+// meaningful when the daemon was attached through the real msr.Device —
+// a custom MSR test double injects its own faults.
+func (d *Daemon) InjectFaults(msrRate, hwmonRate float64, seed int64) {
+	if dev, ok := d.sampler.dev.(*msr.Device); ok {
+		dev.InjectFaults(msrRate, seed)
+	}
+	d.diode.InjectFaults(hwmonRate, seed+1)
+}
+
+// HistoryCap returns the ring bound (0 = unbounded).
+func (d *Daemon) HistoryCap() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.history.Cap()
+}
+
+// Records returns a copy of the retained history, oldest first.
+func (d *Daemon) Records() []Record {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.history.Snapshot()
+}
+
+// Latest returns the newest record, if any interval has completed.
+func (d *Daemon) Latest() (Record, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.history.Last()
+}
+
+// Intervals returns the retained measurement intervals, oldest first.
+func (d *Daemon) Intervals() []trace.Interval {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]trace.Interval, d.history.Len())
+	for i := range out {
+		out[i] = d.history.At(i).Interval
+	}
+	return out
+}
+
+// Reports returns the retained analyses, oldest first.
+func (d *Daemon) Reports() []*core.Report {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]*core.Report, d.history.Len())
+	for i := range out {
+		out[i] = d.history.At(i).Report
+	}
+	return out
+}
+
+// readTempK reads the thermal diode with the retry budget. A diode that
+// stays unreadable is not fatal: the previous good reading is reused and
+// the failure counted (temperature moves slowly at 200 ms granularity).
+func (d *Daemon) readTempK() float64 {
+	r := d.sampler.retry
+	t, err := d.diode.ReadTempK()
+	for a := 1; err != nil && a < r.attempts(); a++ {
+		d.counters.HwmonRetries.Add(1)
+		r.sleep(a)
+		t, err = d.diode.ReadTempK()
+	}
+	if err != nil {
+		d.counters.HwmonFailures.Add(1)
+		return d.lastTempK
+	}
+	d.lastTempK = t
+	return t
+}
+
+// step drives one 200 ms decision interval through the device path:
+// tick the hardware, rotate counter groups every 20 ms, assemble the
+// interval, analyze, record, and apply the policy.
+func (d *Daemon) step() (Record, error) {
+	windows := arch.DecisionIntervalMS / arch.PowerSamplePeriodMS
+	for w := 0; w < windows; w++ {
+		d.chip.TickN(arch.PowerSamplePeriodMS)
+		if err := d.sampler.OnWindow(arch.PowerSamplePeriodMS); err != nil {
+			return Record{}, err
+		}
+	}
+	iv, err := d.sampler.EndInterval(d.chip.TimeS(), arch.DecisionIntervalMS, d.readTempK())
+	if err != nil {
+		return Record{}, err
+	}
+	// Consume the chip's internal interval bookkeeping so oracle
+	// power is available to callers for validation.
+	oracle := d.chip.ReadInterval()
+	iv.TruePowerW = oracle.TruePowerW
+	iv.MeasPowerW = oracle.MeasPowerW
+
+	rep, err := d.Models.Analyze(iv)
+	if err != nil {
+		d.counters.AnalyzeErrors.Add(1)
+		return Record{}, err
+	}
+	d.mu.Lock()
+	d.seq++
+	rec := Record{Seq: d.seq, Interval: iv, Report: rep}
+	d.history.Push(rec)
+	d.mu.Unlock()
+	d.counters.Intervals.Add(1)
+	if d.Policy != nil {
+		d.Policy.Apply(d.chip, iv, rep)
+	}
+	if d.OnInterval != nil {
+		d.OnInterval(rec)
+	}
+	return rec, nil
 }
 
 // RunIntervals drives the chip for n decision intervals: ticking the
 // hardware, rotating counter groups every 20 ms, and analyzing at every
-// 200 ms boundary. The chip's workload must already be bound.
+// 200 ms boundary. The chip's workload must already be bound. Any device
+// or analysis error aborts the batch — the finite-experiment contract.
 func (d *Daemon) RunIntervals(n int) error {
 	if d.Models == nil {
 		return fmt.Errorf("daemon: no models attached")
 	}
-	windows := arch.DecisionIntervalMS / arch.PowerSamplePeriodMS
 	for i := 0; i < n; i++ {
-		for w := 0; w < windows; w++ {
-			d.chip.TickN(arch.PowerSamplePeriodMS)
-			if err := d.sampler.OnWindow(arch.PowerSamplePeriodMS); err != nil {
-				return err
-			}
-		}
-		iv, err := d.sampler.EndInterval(d.chip.TimeS(), arch.DecisionIntervalMS, d.diode.TempK())
-		if err != nil {
+		if _, err := d.step(); err != nil {
 			return err
-		}
-		// Consume the chip's internal interval bookkeeping so oracle
-		// power is available to callers for validation.
-		oracle := d.chip.ReadInterval()
-		iv.TruePowerW = oracle.TruePowerW
-		iv.MeasPowerW = oracle.MeasPowerW
-
-		rep, err := d.Models.Analyze(iv)
-		if err != nil {
-			return err
-		}
-		d.Intervals = append(d.Intervals, iv)
-		d.Reports = append(d.Reports, rep)
-		if d.Policy != nil {
-			d.Policy.Apply(d.chip, iv, rep)
 		}
 	}
 	return nil
+}
+
+// Run drives the loop until the context is cancelled — the always-on
+// service mode (paper Section IV-E). Unlike RunIntervals, errors never
+// abort the loop: an interval that fails even after the retry budget is
+// counted as skipped, the sampler is re-programmed from scratch, and
+// sampling continues. A transient fault during the re-program itself
+// just skips further intervals until the reset lands — the loop only
+// ever exits with the context's error on cancellation.
+func (d *Daemon) Run(ctx context.Context) error {
+	if d.Models == nil {
+		return fmt.Errorf("daemon: no models attached")
+	}
+	needReset := false
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+		if needReset {
+			if err := d.sampler.Reset(); err != nil {
+				// Still counted (the sampler's retry path bumps
+				// MSRRetries/MSRFailures); pace and try again.
+				d.counters.SkippedIntervals.Add(1)
+				if d.Throttle != nil {
+					d.Throttle()
+				}
+				continue
+			}
+			// Drain the chip's interval accumulation the failed interval
+			// left behind so the next one starts on a clean boundary.
+			d.chip.ReadInterval()
+			needReset = false
+		}
+		if _, err := d.step(); err != nil {
+			d.counters.SkippedIntervals.Add(1)
+			needReset = true
+		}
+		if d.Throttle != nil {
+			d.Throttle()
+		}
+	}
 }

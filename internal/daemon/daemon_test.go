@@ -1,9 +1,12 @@
 package daemon
 
 import (
+	"context"
+	"errors"
 	"math"
 	"sync"
 	"testing"
+	"time"
 
 	"ppep/internal/arch"
 	"ppep/internal/core"
@@ -56,11 +59,11 @@ func models(t *testing.T) *core.Models {
 	return trained
 }
 
-// attach builds a chip running milc×2 with the daemon on it.
-func attach(t *testing.T, policy Policy) (*Daemon, *fxsim.Chip) {
+// busyChip builds a chip running milc×2 endlessly.
+func busyChip(t *testing.T, perCUPlanes bool) *fxsim.Chip {
 	t.Helper()
 	cfg := fxsim.DefaultFX8320Config()
-	cfg.PerCUPlanes = policy != nil
+	cfg.PerCUPlanes = perCUPlanes
 	chip := fxsim.New(cfg)
 	chip.SetTempK(318)
 	run := workload.MultiInstance("433", 2)
@@ -72,6 +75,13 @@ func attach(t *testing.T, policy Policy) (*Daemon, *fxsim.Chip) {
 	if _, err := chip.PlaceRun(run, fxsim.PlaceScatter, true); err != nil {
 		t.Fatal(err)
 	}
+	return chip
+}
+
+// attach builds a chip running milc×2 with the daemon on it.
+func attach(t *testing.T, policy Policy) (*Daemon, *fxsim.Chip) {
+	t.Helper()
+	chip := busyChip(t, policy != nil)
 	d, err := Attach(chip, models(t), policy)
 	if err != nil {
 		t.Fatal(err)
@@ -84,10 +94,10 @@ func TestDaemonSamplesThroughDevices(t *testing.T) {
 	if err := d.RunIntervals(10); err != nil {
 		t.Fatal(err)
 	}
-	if len(d.Intervals) != 10 || len(d.Reports) != 10 {
-		t.Fatalf("intervals %d reports %d", len(d.Intervals), len(d.Reports))
+	if len(d.Intervals()) != 10 || len(d.Reports()) != 10 {
+		t.Fatalf("intervals %d reports %d", len(d.Intervals()), len(d.Reports()))
 	}
-	for _, iv := range d.Intervals {
+	for _, iv := range d.Intervals() {
 		// Cores 0 and 2 run the instances; the rest are idle.
 		if !iv.Busy[0] || !iv.Busy[2] {
 			t.Error("bound cores not seen busy through the MSR path")
@@ -116,8 +126,9 @@ func TestDaemonEstimatesTrackMeasuredPower(t *testing.T) {
 		t.Fatal(err)
 	}
 	var errs []float64
-	for i, rep := range d.Reports {
-		errs = append(errs, stats.AbsPctErr(rep.Current().ChipW, d.Intervals[i].MeasPowerW))
+	ivs := d.Intervals()
+	for i, rep := range d.Reports() {
+		errs = append(errs, stats.AbsPctErr(rep.Current().ChipW, ivs[i].MeasPowerW))
 	}
 	s := stats.SummarizeAbsErrors(errs)
 	if s.Mean > 0.15 {
@@ -133,7 +144,7 @@ func TestDaemonMultiplexedCountsMatchOracle(t *testing.T) {
 	if err := d.RunIntervals(5); err != nil {
 		t.Fatal(err)
 	}
-	iv := d.Intervals[3]
+	iv := d.Intervals()[3]
 	inst := iv.Counters[0].Get(arch.RetiredInstructions)
 	cyc := iv.Counters[0].Get(arch.CPUClocksNotHalted)
 	if inst <= 0 || cyc <= 0 {
@@ -164,7 +175,8 @@ func TestDaemonPolicyDrivesVF(t *testing.T) {
 		t.Error("policy never changed the VF state")
 	}
 	// And later intervals observe the new state through the MSR path.
-	last := d.Intervals[len(d.Intervals)-1]
+	ivs := d.Intervals()
+	last := ivs[len(ivs)-1]
 	if last.VF() == arch.VF5 {
 		t.Error("device-sampled VF did not track the policy")
 	}
@@ -180,7 +192,7 @@ func TestDaemonCappingPolicy(t *testing.T) {
 		t.Fatal(err)
 	}
 	// After settling, measured power must respect the 40 W budget.
-	for _, iv := range d.Intervals[2:] {
+	for _, iv := range d.Intervals()[2:] {
 		if iv.MeasPowerW > 44 {
 			t.Errorf("t=%.1f: %0.1fW over the 40W cap", iv.TimeS, iv.MeasPowerW)
 		}
@@ -195,6 +207,121 @@ func TestDaemonRequiresModels(t *testing.T) {
 	}
 	if err := d.RunIntervals(1); err == nil {
 		t.Error("daemon without models accepted")
+	}
+}
+
+// TestDaemonHistoryRing pins the service-mode memory bound: with a
+// HistoryCap the daemon retains exactly the newest cap records while
+// sequence numbers keep counting every completed interval.
+func TestDaemonHistoryRing(t *testing.T) {
+	chip := busyChip(t, false)
+	d, err := AttachOpts(chip, models(t), nil, Options{HistoryCap: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RunIntervals(10); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Counters().Intervals.Load(); got != 10 {
+		t.Errorf("interval counter %d, want 10", got)
+	}
+	recs := d.Records()
+	if len(recs) != 4 || len(d.Intervals()) != 4 || len(d.Reports()) != 4 {
+		t.Fatalf("retained %d records, want 4", len(recs))
+	}
+	for i, rec := range recs {
+		if want := uint64(7 + i); rec.Seq != want {
+			t.Errorf("record %d seq %d, want %d (oldest evicted, numbering preserved)", i, rec.Seq, want)
+		}
+		if rec.Report == nil || len(rec.Interval.Counters) == 0 {
+			t.Errorf("record %d incomplete", i)
+		}
+	}
+	if last, ok := d.Latest(); !ok || last.Seq != 10 {
+		t.Errorf("Latest seq %d/%v, want 10/true", last.Seq, ok)
+	}
+}
+
+// TestDaemonRunCancel covers the context-cancellable service loop: Run
+// keeps producing intervals until cancellation and then returns the
+// context error promptly.
+func TestDaemonRunCancel(t *testing.T) {
+	chip := busyChip(t, false)
+	d, err := AttachOpts(chip, models(t), nil, Options{HistoryCap: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	d.OnInterval = func(rec Record) {
+		if rec.Seq >= 5 {
+			cancel()
+		}
+	}
+	done := make(chan error, 1)
+	go func() { done <- d.Run(ctx) }()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Run returned %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Run did not stop after cancellation")
+	}
+	if got := d.Counters().Intervals.Load(); got < 5 {
+		t.Errorf("only %d intervals before cancel, want >= 5", got)
+	}
+}
+
+// TestDaemonSurvivesInjectedFaults is the long-running hardening
+// contract: with 10–15% transient fault rates on both device paths and a
+// bounded retry budget, the loop must keep completing intervals — faults
+// surface as retry/failure/skip counters, never as a crash or abort.
+func TestDaemonSurvivesInjectedFaults(t *testing.T) {
+	chip := busyChip(t, false)
+	d, err := AttachOpts(chip, models(t), nil, Options{
+		HistoryCap: 8,
+		Retry:      Retry{Attempts: 4, Sleep: func(time.Duration) {}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.InjectFaults(0.12, 0.15, 7)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	d.OnInterval = func(rec Record) {
+		if d.Counters().Intervals.Load() >= 25 {
+			cancel()
+		}
+	}
+	done := make(chan error, 1)
+	go func() { done <- d.Run(ctx) }()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Run under faults returned %v, want context.Canceled", err)
+		}
+	case <-time.After(120 * time.Second):
+		t.Fatal("faulted loop wedged")
+	}
+
+	s := d.Counters().Snapshot()
+	if s.Intervals < 25 {
+		t.Errorf("completed %d intervals under faults, want >= 25", s.Intervals)
+	}
+	if s.MSRRetries == 0 {
+		t.Error("12%% MSR fault rate produced no retries")
+	}
+	if s.HwmonRetries == 0 && s.HwmonFailures == 0 {
+		t.Error("15%% hwmon fault rate produced no retries or failures")
+	}
+	if len(d.Records()) > 8 {
+		t.Errorf("history grew past the ring cap: %d", len(d.Records()))
+	}
+	// Intervals that did complete under faults must still be sane.
+	if last, ok := d.Latest(); !ok {
+		t.Error("no record retained")
+	} else if last.Interval.TempK < 300 || last.Interval.TempK > 360 {
+		t.Errorf("implausible diode value %v under hwmon faults", last.Interval.TempK)
 	}
 }
 

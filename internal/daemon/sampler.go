@@ -8,10 +8,17 @@
 // Unlike the simulator's built-in interval collection (which the training
 // campaign uses), everything here goes through the register-level device
 // emulation, exercising the same code path a real deployment would.
+//
+// For long-running service deployments (internal/serve, `ppepd -serve`),
+// every register and diode access carries a bounded retry-with-backoff
+// budget (Retry): transient faults — injected in the emulation via
+// msr.Device.InjectFaults / hwmon.Sensor.InjectFaults, real EIO on
+// hardware — are retried and counted instead of killing the loop.
 package daemon
 
 import (
 	"fmt"
+	"time"
 
 	"ppep/internal/arch"
 	"ppep/internal/msr"
@@ -31,12 +38,49 @@ type Thermometer interface {
 	TempK() float64
 }
 
+// Retry is a bounded retry-with-backoff budget for device accesses.
+type Retry struct {
+	// Attempts is the total number of tries per register operation
+	// (<= 1 means a single attempt, no retry).
+	Attempts int
+	// Backoff is the sleep before the first retry; it doubles on every
+	// further retry of the same operation. Zero means retry immediately.
+	Backoff time.Duration
+	// Sleep replaces time.Sleep (tests inject a recorder; nil uses
+	// time.Sleep). Never called when Backoff is zero.
+	Sleep func(time.Duration)
+}
+
+// attempts returns the effective attempt budget (at least one).
+func (r Retry) attempts() int {
+	if r.Attempts < 1 {
+		return 1
+	}
+	return r.Attempts
+}
+
+// sleep blocks for the attempt-th backoff step (attempt counts from 1).
+func (r Retry) sleep(attempt int) {
+	if r.Backoff <= 0 {
+		return
+	}
+	d := r.Backoff << (attempt - 1)
+	if r.Sleep != nil {
+		r.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
 // Sampler multiplexes the twelve Table I events onto the six hardware
 // counters of every core: group 0 holds E1–E6, group 1 holds E7–E12.
 type Sampler struct {
 	dev      MSR
 	numCores int
 	tbl      arch.VFTable
+
+	retry    Retry
+	counters *Counters
 
 	groups [2][pmc.CountersPerCore]arch.EventID
 	active int
@@ -65,16 +109,58 @@ func NewSampler(dev MSR, numCores int, tbl arch.VFTable) (*Sampler, error) {
 	return s, nil
 }
 
+// SetRetry installs the retry budget and the counters retried/failed
+// operations are reported to (counters may be nil).
+func (s *Sampler) SetRetry(r Retry, c *Counters) {
+	s.retry = r
+	s.counters = c
+}
+
+// count bumps a counter if a Counters sink is installed.
+func (s *Sampler) count(f func(*Counters)) {
+	if s.counters != nil {
+		f(s.counters)
+	}
+}
+
+// rdmsr reads a register with the retry budget.
+func (s *Sampler) rdmsr(core int, addr uint32) (uint64, error) {
+	v, err := s.dev.Rdmsr(core, addr)
+	for a := 1; err != nil && a < s.retry.attempts(); a++ {
+		s.count(func(c *Counters) { c.MSRRetries.Add(1) })
+		s.retry.sleep(a)
+		v, err = s.dev.Rdmsr(core, addr)
+	}
+	if err != nil {
+		s.count(func(c *Counters) { c.MSRFailures.Add(1) })
+	}
+	return v, err
+}
+
+// wrmsr writes a register with the retry budget.
+func (s *Sampler) wrmsr(core int, addr uint32, val uint64) error {
+	err := s.dev.Wrmsr(core, addr, val)
+	for a := 1; err != nil && a < s.retry.attempts(); a++ {
+		s.count(func(c *Counters) { c.MSRRetries.Add(1) })
+		s.retry.sleep(a)
+		err = s.dev.Wrmsr(core, addr, val)
+	}
+	if err != nil {
+		s.count(func(c *Counters) { c.MSRFailures.Add(1) })
+	}
+	return err
+}
+
 // program writes the PERF_CTL registers of every core for a group and
 // zeroes the counters.
 func (s *Sampler) program(group int) error {
 	for core := 0; core < s.numCores; core++ {
 		for slot, ev := range s.groups[group] {
 			ctl := msr.EncodeCtl(arch.Info(ev).Code)
-			if err := s.dev.Wrmsr(core, msr.PerfCtl(slot), ctl); err != nil {
+			if err := s.wrmsr(core, msr.PerfCtl(slot), ctl); err != nil {
 				return fmt.Errorf("daemon: program core %d slot %d: %w", core, slot, err)
 			}
-			if err := s.dev.Wrmsr(core, msr.PerfCtr(slot), 0); err != nil {
+			if err := s.wrmsr(core, msr.PerfCtr(slot), 0); err != nil {
 				return fmt.Errorf("daemon: zero core %d slot %d: %w", core, slot, err)
 			}
 		}
@@ -83,13 +169,24 @@ func (s *Sampler) program(group int) error {
 	return nil
 }
 
+// Reset abandons the current interval's accumulation and re-programs
+// group 0 from scratch — the recovery path after a mid-interval device
+// failure in service mode.
+func (s *Sampler) Reset() error {
+	for i := range s.counts {
+		s.counts[i] = arch.EventVec{}
+	}
+	s.liveMS = [2]float64{}
+	return s.program(0)
+}
+
 // OnWindow closes one 20 ms multiplexing window: it reads and accumulates
 // the active group's counters on every core, then rotates to the other
 // group. windowMS is the wall-clock length the group was live.
 func (s *Sampler) OnWindow(windowMS float64) error {
 	for core := 0; core < s.numCores; core++ {
 		for slot, ev := range s.groups[s.active] {
-			v, err := s.dev.Rdmsr(core, msr.PerfCtr(slot))
+			v, err := s.rdmsr(core, msr.PerfCtr(slot))
 			if err != nil {
 				return fmt.Errorf("daemon: read core %d slot %d: %w", core, slot, err)
 			}
@@ -103,7 +200,9 @@ func (s *Sampler) OnWindow(windowMS float64) error {
 // EndInterval assembles the 200 ms measurement interval: per-core counts
 // extrapolated by each group's live share, the VF state read from the
 // P-state status MSR, and the given diode temperature. It resets the
-// accumulation for the next interval.
+// accumulation for the next interval. A group that never completed a
+// window this interval (liveMS == 0) contributes zero counts rather than
+// a division by zero — its events simply were not observed.
 func (s *Sampler) EndInterval(timeS, intervalMS, tempK float64) (trace.Interval, error) {
 	iv := trace.Interval{
 		TimeS: timeS,
@@ -120,7 +219,7 @@ func (s *Sampler) EndInterval(timeS, intervalMS, tempK float64) (trace.Interval,
 				}
 			}
 		}
-		pstate, err := s.dev.Rdmsr(core, msr.PStateStatus)
+		pstate, err := s.rdmsr(core, msr.PStateStatus)
 		if err != nil {
 			return iv, fmt.Errorf("daemon: P-state read core %d: %w", core, err)
 		}

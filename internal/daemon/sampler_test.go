@@ -1,0 +1,204 @@
+package daemon
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"ppep/internal/arch"
+	"ppep/internal/msr"
+)
+
+// fakeMSR is a scriptable register device: every counter read returns
+// ctrVal, the P-state status reads pstate, and the next failNext
+// operations fail with a transient error.
+type fakeMSR struct {
+	ctrVal   uint64
+	pstate   uint64
+	failNext int
+	ops      int
+	failures int
+}
+
+var errFakeTransient = errors.New("fake transient fault")
+
+func (f *fakeMSR) gate() error {
+	f.ops++
+	if f.failNext > 0 {
+		f.failNext--
+		f.failures++
+		return errFakeTransient
+	}
+	return nil
+}
+
+func (f *fakeMSR) Rdmsr(core int, addr uint32) (uint64, error) {
+	if err := f.gate(); err != nil {
+		return 0, err
+	}
+	if addr == msr.PStateStatus {
+		return f.pstate, nil
+	}
+	return f.ctrVal, nil
+}
+
+func (f *fakeMSR) Wrmsr(core int, addr uint32, val uint64) error {
+	return f.gate()
+}
+
+func newTestSampler(t *testing.T, dev MSR, cores int) *Sampler {
+	t.Helper()
+	s, err := NewSampler(dev, cores, arch.FX8320VFTable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestSamplerPartialInterval covers a group with liveMS == 0: when the
+// interval closes after only group 0 completed a window, group 1's
+// events must come out zero (unobserved) — not NaN or Inf from a
+// division by zero live time.
+func TestSamplerPartialInterval(t *testing.T) {
+	dev := &fakeMSR{ctrVal: 1000}
+	s := newTestSampler(t, dev, 2)
+	if err := s.OnWindow(20); err != nil {
+		t.Fatal(err)
+	}
+	iv, err := s.EndInterval(1.0, 200, 318)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for core := 0; core < 2; core++ {
+		for _, id := range s.groups[0] {
+			got := iv.Counters[core].Get(id)
+			want := 1000.0 * 200 / 20
+			if got != want {
+				t.Errorf("core %d group-0 event E%d = %v, want %v", core, id, got, want)
+			}
+		}
+		for _, id := range s.groups[1] {
+			got := iv.Counters[core].Get(id)
+			if got != 0 || math.IsNaN(got) || math.IsInf(got, 0) {
+				t.Errorf("core %d unobserved group-1 event E%d = %v, want exactly 0", core, id, got)
+			}
+		}
+		// RetiredInstructions is E11 (group 1): with that group never
+		// sampled, the core must read as idle rather than garbage-busy.
+		if iv.Busy[core] {
+			t.Errorf("core %d busy from an unobserved instruction counter", core)
+		}
+	}
+}
+
+// TestSamplerUnequalLiveTime pins the extrapolation arithmetic when the
+// two groups covered different shares of the interval: each group's raw
+// counts scale by intervalMS over its own live time.
+func TestSamplerUnequalLiveTime(t *testing.T) {
+	dev := &fakeMSR{ctrVal: 300}
+	s := newTestSampler(t, dev, 1)
+	if err := s.OnWindow(30); err != nil { // group 0 live for 30 ms
+		t.Fatal(err)
+	}
+	if err := s.OnWindow(10); err != nil { // group 1 live for 10 ms
+		t.Fatal(err)
+	}
+	iv, err := s.EndInterval(1.0, 200, 318)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range s.groups[0] {
+		if got, want := iv.Counters[0].Get(id), 300.0*200/30; math.Abs(got-want) > 1e-9 {
+			t.Errorf("group-0 event E%d = %v, want %v", id, got, want)
+		}
+	}
+	for _, id := range s.groups[1] {
+		if got, want := iv.Counters[0].Get(id), 300.0*200/10; math.Abs(got-want) > 1e-9 {
+			t.Errorf("group-1 event E%d = %v, want %v", id, got, want)
+		}
+	}
+}
+
+// TestSamplerRetryBackoff covers transient read faults mid-window: the
+// sampler must retry with doubling backoff, count the retries, and
+// succeed without surfacing an error while the budget lasts.
+func TestSamplerRetryBackoff(t *testing.T) {
+	dev := &fakeMSR{ctrVal: 50}
+	s := newTestSampler(t, dev, 1)
+	var counters Counters
+	var sleeps []time.Duration
+	s.SetRetry(Retry{
+		Attempts: 4,
+		Backoff:  time.Millisecond,
+		Sleep:    func(d time.Duration) { sleeps = append(sleeps, d) },
+	}, &counters)
+
+	dev.failNext = 2 // first counter read of the window fails twice
+	if err := s.OnWindow(20); err != nil {
+		t.Fatalf("window with 2 transient faults and 4 attempts failed: %v", err)
+	}
+	if got := counters.MSRRetries.Load(); got != 2 {
+		t.Errorf("MSRRetries = %d, want 2", got)
+	}
+	if got := counters.MSRFailures.Load(); got != 0 {
+		t.Errorf("MSRFailures = %d, want 0", got)
+	}
+	want := []time.Duration{time.Millisecond, 2 * time.Millisecond}
+	if len(sleeps) != len(want) || sleeps[0] != want[0] || sleeps[1] != want[1] {
+		t.Errorf("backoff sleeps %v, want %v", sleeps, want)
+	}
+}
+
+// TestSamplerRetryExhaustion covers a fault burst longer than the retry
+// budget: the operation fails, the failure is counted, and Reset
+// restores a programmable sampler.
+func TestSamplerRetryExhaustion(t *testing.T) {
+	dev := &fakeMSR{ctrVal: 50}
+	s := newTestSampler(t, dev, 1)
+	var counters Counters
+	s.SetRetry(Retry{Attempts: 3}, &counters)
+
+	dev.failNext = 10 // outlasts 3 attempts
+	if err := s.OnWindow(20); err == nil {
+		t.Fatal("window with exhausted retry budget did not fail")
+	}
+	if got := counters.MSRFailures.Load(); got == 0 {
+		t.Error("exhausted retries not counted as a failure")
+	}
+	if got := counters.MSRRetries.Load(); got != 2 {
+		t.Errorf("MSRRetries = %d, want 2 (attempts-1)", got)
+	}
+
+	// The fault burst has passed; a reset must leave a clean sampler.
+	dev.failNext = 0
+	if err := s.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if s.active != 0 {
+		t.Error("Reset did not reprogram group 0")
+	}
+	if err := s.OnWindow(20); err != nil {
+		t.Fatal(err)
+	}
+	iv, err := s.EndInterval(1.0, 200, 318)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the post-reset window may contribute counts.
+	for _, id := range s.groups[0] {
+		if got, want := iv.Counters[0].Get(id), 50.0*200/20; math.Abs(got-want) > 1e-9 {
+			t.Errorf("post-reset event E%d = %v, want %v", id, got, want)
+		}
+	}
+}
+
+// TestRetryDefaults pins the zero-value Retry contract: one attempt, no
+// sleeping.
+func TestRetryDefaults(t *testing.T) {
+	var r Retry
+	if r.attempts() != 1 {
+		t.Errorf("zero Retry attempts() = %d, want 1", r.attempts())
+	}
+	r.sleep(1) // must not panic or call time.Sleep for zero backoff
+}

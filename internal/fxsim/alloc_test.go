@@ -58,6 +58,24 @@ func TestTickZeroAlloc(t *testing.T) {
 	})
 }
 
+// TestReadIntervalAllocs pins the interval-collection allocation budget:
+// exactly one exact-capacity allocation per handed-out slice (PerCoreVF,
+// Counters, Busy, TrueCoreDynW) and nothing from append growth. The
+// record must own its slices — the daemon retains intervals in its
+// history ring long after the chip has moved on — so these four cannot
+// be pooled away; the former append-growth path cost 10 allocs and
+// ~1.6 KB per interval (visible in BenchmarkTickN before this budget).
+func TestReadIntervalAllocs(t *testing.T) {
+	c := busyChip(t)
+	n := testing.AllocsPerRun(100, func() {
+		c.TickN(arch.DecisionIntervalMS)
+		c.ReadInterval()
+	})
+	if n != 4 {
+		t.Errorf("TickN+ReadInterval allocates %.1f times per interval, want exactly 4", n)
+	}
+}
+
 // TestConfigNBNotShared guards the NB deep copy in New: two chips built
 // from the same Config value must not share mutable NB state, and
 // SetNBPoint must never write through to the caller's Config. Run under

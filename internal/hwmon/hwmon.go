@@ -3,27 +3,87 @@
 // millidegrees Celsius, as `temp1_input` does on Linux.
 package hwmon
 
-import "ppep/internal/fxsim"
+import (
+	"errors"
+	"fmt"
+
+	"ppep/internal/fxsim"
+)
 
 // KelvinOffset converts between kelvin and Celsius.
 const KelvinOffset = 273.15
 
+// ErrTransient marks an injected transient read fault — the emulation of
+// a sporadic sysfs read error on a flaky sensor bus. Callers (the
+// daemon) treat it as retryable.
+var ErrTransient = errors.New("transient sensor fault (injected)")
+
 // Sensor is the socket thermal diode read path.
+//
+// Sensor is not safe for concurrent use: like a real sysfs file handle,
+// it belongs to the single sampling loop.
 type Sensor struct {
 	chip *fxsim.Chip
+
+	faultRate float64
+	faultRNG  uint64
 }
 
 // Open attaches to the chip's thermal diode.
 func Open(chip *fxsim.Chip) *Sensor { return &Sensor{chip: chip} }
 
+// InjectFaults makes a fraction rate of subsequent Read/ReadTempK calls
+// fail with ErrTransient, drawn from a deterministic seeded stream — the
+// long-running-service hardening knob (`ppepd -fault-hwmon`). rate 0
+// disables injection.
+func (s *Sensor) InjectFaults(rate float64, seed int64) {
+	s.faultRate = rate
+	s.faultRNG = uint64(seed)
+	if s.faultRNG == 0 {
+		s.faultRNG = 0x9E3779B97F4A7C15
+	}
+}
+
+// hit advances the xorshift64* fault stream (math/rand's global functions
+// are avoided module-wide so seeded runs reproduce bit-for-bit).
+func (s *Sensor) hit() bool {
+	if s.faultRate <= 0 {
+		return false
+	}
+	s.faultRNG ^= s.faultRNG << 13
+	s.faultRNG ^= s.faultRNG >> 7
+	s.faultRNG ^= s.faultRNG << 17
+	u := s.faultRNG * 0x2545F4914F6CDD1D
+	return float64(u>>11)/(1<<53) < s.faultRate
+}
+
+// Read returns the diode value in millidegrees Celsius — the raw sysfs
+// temp1_input read, including any injected transient fault.
+func (s *Sensor) Read() (int64, error) {
+	if s.hit() {
+		return 0, fmt.Errorf("hwmon: temp1_input: %w", ErrTransient)
+	}
+	return s.Temp1InputMilliC(), nil
+}
+
+// ReadTempK is Read converted to kelvin, as the PPEP daemon consumes it.
+func (s *Sensor) ReadTempK() (float64, error) {
+	mc, err := s.Read()
+	if err != nil {
+		return 0, err
+	}
+	return float64(mc)/1000 + KelvinOffset, nil
+}
+
 // Temp1InputMilliC returns the diode value in millidegrees Celsius, the
-// raw sysfs representation.
+// raw sysfs representation. It bypasses fault injection (experiment
+// setup code uses it; the daemon's read path goes through Read).
 func (s *Sensor) Temp1InputMilliC() int64 {
 	return int64((s.chip.TempK() - KelvinOffset) * 1000)
 }
 
-// TempK returns the diode value converted back to kelvin, as the PPEP
-// daemon consumes it.
+// TempK returns the diode value converted back to kelvin, bypassing
+// fault injection.
 func (s *Sensor) TempK() float64 {
 	return float64(s.Temp1InputMilliC())/1000 + KelvinOffset
 }

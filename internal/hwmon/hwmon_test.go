@@ -1,6 +1,7 @@
 package hwmon
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -32,5 +33,70 @@ func TestQuantizationMatchesSysfs(t *testing.T) {
 	// must be stable and close.
 	if math.Abs(s.TempK()-315.6789) > 0.01 {
 		t.Errorf("TempK = %v", s.TempK())
+	}
+}
+
+// TestFaultInjection covers the service-hardening knob: Read/ReadTempK
+// fail with ErrTransient at the configured rate while the setup-path
+// readers (TempK, Temp1InputMilliC) stay fault-free, and the stream is
+// deterministic per seed.
+func TestFaultInjection(t *testing.T) {
+	cfg := fxsim.DefaultFX8320Config()
+	chip := fxsim.New(cfg)
+	chip.SetTempK(320)
+	s := Open(chip)
+
+	if _, err := s.ReadTempK(); err != nil {
+		t.Fatalf("fault with injection disabled: %v", err)
+	}
+
+	s.InjectFaults(0.25, 9)
+	const n = 2000
+	var faults int
+	for i := 0; i < n; i++ {
+		v, err := s.ReadTempK()
+		if err != nil {
+			if !errors.Is(err, ErrTransient) {
+				t.Fatalf("injected fault is %v, want ErrTransient", err)
+			}
+			faults++
+			continue
+		}
+		if math.Abs(v-320) > 0.001 {
+			t.Errorf("successful read returned %v, want 320", v)
+		}
+	}
+	got := float64(faults) / n
+	if got < 0.2 || got > 0.3 {
+		t.Errorf("observed fault rate %.3f for configured 0.25", got)
+	}
+
+	// The experiment-setup path must never fault.
+	for i := 0; i < 100; i++ {
+		if math.Abs(s.TempK()-320) > 0.001 {
+			t.Fatal("TempK perturbed by fault injection")
+		}
+	}
+
+	// Same seed, same decisions.
+	replay := func() []int {
+		s2 := Open(chip)
+		s2.InjectFaults(0.25, 9)
+		var hits []int
+		for i := 0; i < 200; i++ {
+			if _, err := s2.Read(); err != nil {
+				hits = append(hits, i)
+			}
+		}
+		return hits
+	}
+	a, b := replay(), replay()
+	if len(a) == 0 {
+		t.Fatal("no faults in 200 draws at rate 0.25")
+	}
+	for i := range a {
+		if i >= len(b) || a[i] != b[i] {
+			t.Fatalf("fault stream not deterministic: %v vs %v", a, b)
+		}
 	}
 }

@@ -13,12 +13,18 @@
 package msr
 
 import (
+	"errors"
 	"fmt"
 
 	"ppep/internal/arch"
 	"ppep/internal/fxsim"
 	"ppep/internal/pmc"
 )
+
+// ErrTransient marks an injected transient device fault — the emulation
+// of the sporadic EIO a real /dev/cpu/*/msr read can return. Callers
+// (the daemon's sampler) treat it as retryable.
+var ErrTransient = errors.New("transient device fault (injected)")
 
 // Register addresses.
 const (
@@ -55,8 +61,12 @@ func DecodeCtl(v uint64) (code uint16, enabled bool) {
 // Device is the per-core MSR access surface over a simulated chip. It is
 // the software-visible path PPEP's sampler uses; the chip must have
 // counter files enabled.
+//
+// Device is not safe for concurrent use: like the real /dev/cpu/*/msr
+// file descriptors, it belongs to the single sampling loop.
 type Device struct {
-	chip *fxsim.Chip
+	chip   *fxsim.Chip
+	faults faultInjector
 }
 
 // Open attaches an MSR device to the chip, enabling its register-level
@@ -66,8 +76,47 @@ func Open(chip *fxsim.Chip) *Device {
 	return &Device{chip: chip}
 }
 
+// InjectFaults makes a fraction rate of subsequent register operations
+// fail with ErrTransient, drawn from a deterministic seeded stream —
+// the long-running-service hardening knob (`ppepd -fault-msr`). rate 0
+// disables injection.
+func (d *Device) InjectFaults(rate float64, seed int64) {
+	d.faults = newFaultInjector(rate, seed)
+}
+
+// faultInjector draws deterministic Bernoulli fault decisions from an
+// xorshift64* stream (math/rand's global functions are avoided module-wide
+// so seeded runs reproduce bit-for-bit).
+type faultInjector struct {
+	rate float64
+	rng  uint64
+}
+
+func newFaultInjector(rate float64, seed int64) faultInjector {
+	s := uint64(seed)
+	if s == 0 {
+		s = 0x9E3779B97F4A7C15
+	}
+	return faultInjector{rate: rate, rng: s}
+}
+
+// hit advances the stream and reports whether this operation faults.
+func (f *faultInjector) hit() bool {
+	if f.rate <= 0 {
+		return false
+	}
+	f.rng ^= f.rng << 13
+	f.rng ^= f.rng >> 7
+	f.rng ^= f.rng << 17
+	u := f.rng * 0x2545F4914F6CDD1D
+	return float64(u>>11)/(1<<53) < f.rate
+}
+
 // Rdmsr reads a register on a core.
 func (d *Device) Rdmsr(core int, addr uint32) (uint64, error) {
+	if d.faults.hit() {
+		return 0, fmt.Errorf("msr: rdmsr core %d reg %#x: %w", core, addr, ErrTransient)
+	}
 	cf := d.chip.CounterFile(core)
 	if cf == nil {
 		return 0, fmt.Errorf("msr: core %d out of range", core)
@@ -90,6 +139,9 @@ func (d *Device) Rdmsr(core int, addr uint32) (uint64, error) {
 
 // Wrmsr writes a register on a core.
 func (d *Device) Wrmsr(core int, addr uint32, val uint64) error {
+	if d.faults.hit() {
+		return fmt.Errorf("msr: wrmsr core %d reg %#x: %w", core, addr, ErrTransient)
+	}
 	cf := d.chip.CounterFile(core)
 	if cf == nil {
 		return fmt.Errorf("msr: core %d out of range", core)

@@ -1,6 +1,7 @@
 package msr
 
 import (
+	"errors"
 	"testing"
 
 	"ppep/internal/arch"
@@ -146,5 +147,62 @@ func TestUnmappedAndBadCore(t *testing.T) {
 	// PERF_CTL reads are tolerated (return zero).
 	if _, err := d.Rdmsr(0, PerfCtl(0)); err != nil {
 		t.Errorf("ctl read: %v", err)
+	}
+}
+
+// TestFaultInjection covers the service-hardening knob: at a configured
+// rate, register operations fail with ErrTransient; the stream is
+// deterministic per seed; rate 0 never faults.
+func TestFaultInjection(t *testing.T) {
+	dev, _ := newDevice(t)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if _, err := dev.Rdmsr(0, PerfCtr(0)); err != nil {
+			t.Fatalf("fault with injection disabled: %v", err)
+		}
+	}
+
+	dev.InjectFaults(0.2, 11)
+	var faults int
+	for i := 0; i < n; i++ {
+		_, err := dev.Rdmsr(0, PerfCtr(0))
+		if err != nil {
+			if !errors.Is(err, ErrTransient) {
+				t.Fatalf("injected fault is %v, want ErrTransient", err)
+			}
+			faults++
+		}
+	}
+	got := float64(faults) / n
+	if got < 0.15 || got > 0.25 {
+		t.Errorf("observed fault rate %.3f for configured 0.2", got)
+	}
+
+	// Same seed, same decisions: the fault stream must reproduce.
+	replay := func() []int {
+		d2, _ := newDevice(t)
+		d2.InjectFaults(0.2, 11)
+		var hits []int
+		for i := 0; i < 200; i++ {
+			if _, err := d2.Rdmsr(0, PerfCtr(0)); err != nil {
+				hits = append(hits, i)
+			}
+		}
+		return hits
+	}
+	a, b := replay(), replay()
+	if len(a) == 0 {
+		t.Fatal("no faults in 200 draws at rate 0.2")
+	}
+	for i := range a {
+		if i >= len(b) || a[i] != b[i] {
+			t.Fatalf("fault stream not deterministic: %v vs %v", a, b)
+		}
+	}
+
+	// Writes fault from the same stream.
+	dev.InjectFaults(1, 3)
+	if err := dev.Wrmsr(0, PerfCtr(0), 0); !errors.Is(err, ErrTransient) {
+		t.Errorf("write at rate 1 returned %v, want ErrTransient", err)
 	}
 }

@@ -1,0 +1,290 @@
+// Package serve is the HTTP observability layer of the always-on PPEP
+// service (`ppepd -serve`): it exposes the daemon's live per-VF
+// performance/power/energy projections in Prometheus text format
+// (/metrics), the bounded report history as JSON (/reports,
+// /reports/latest), on-demand cross-VF projections (/predict?vf=N), and
+// stale-interval liveness (/healthz).
+//
+// The deployment shape follows the paper's Section IV-E user-level
+// daemon: the sampling/analyze/policy loop runs as one
+// context-cancellable goroutine (daemon.Run) while this package's
+// handlers only read the daemon's history ring and counters — they never
+// touch the chip, so no endpoint can perturb sampling.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"ppep/internal/arch"
+	"ppep/internal/core"
+	"ppep/internal/daemon"
+)
+
+// DefaultStaleAfter is the /healthz staleness threshold when Options
+// leaves it zero.
+const DefaultStaleAfter = 5 * time.Second
+
+// Options tunes the server.
+type Options struct {
+	// StaleAfter is how long /healthz tolerates no completed interval
+	// before reporting 503 (default DefaultStaleAfter).
+	StaleAfter time.Duration
+	// Now replaces time.Now for staleness arithmetic (tests).
+	Now func() time.Time
+}
+
+// Server renders a daemon's state over HTTP.
+type Server struct {
+	d    *daemon.Daemon
+	opts Options
+
+	// lastWallNanos is the wall time of the most recent completed
+	// interval, maintained by Observe from the sampling goroutine.
+	lastWallNanos atomic.Int64
+	startWall     time.Time
+}
+
+// New wires a server onto the daemon: the daemon's OnInterval callback
+// is chained through Observe so /healthz can detect a stalled loop.
+func New(d *daemon.Daemon, opts Options) *Server {
+	if opts.StaleAfter <= 0 {
+		opts.StaleAfter = DefaultStaleAfter
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	s := &Server{d: d, opts: opts, startWall: opts.Now()}
+	prev := d.OnInterval
+	d.OnInterval = func(rec daemon.Record) {
+		s.Observe(rec)
+		if prev != nil {
+			prev(rec)
+		}
+	}
+	return s
+}
+
+// Observe stamps a completed interval against the wall clock. It is the
+// daemon's OnInterval hook; exported so alternative loop drivers (tests,
+// benchmarks) can call it directly.
+func (s *Server) Observe(daemon.Record) {
+	s.lastWallNanos.Store(s.opts.Now().UnixNano())
+}
+
+// Handler returns the route mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /reports", s.handleReports)
+	mux.HandleFunc("GET /reports/latest", s.handleLatest)
+	mux.HandleFunc("GET /predict", s.handlePredict)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// ListenAndServe serves the handler on addr until ctx is cancelled, then
+// shuts down gracefully (in-flight requests get shutdownGrace). It
+// returns nil on a clean ctx-driven shutdown.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	const shutdownGrace = 3 * time.Second
+	srv := &http.Server{Addr: addr, Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err // bind failure or unexpected server death
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			return err
+		}
+		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}
+
+// writeJSON renders v with a 200 (or the given status).
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// best-effort: the client may have gone away mid-response
+	_ = enc.Encode(v)
+}
+
+// handleReports returns the retained history, oldest first. ?n=K limits
+// the response to the newest K records.
+func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
+	recs := s.d.Records()
+	if q := r.URL.Query().Get("n"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			http.Error(w, fmt.Sprintf("bad n %q: want a non-negative integer", q), http.StatusBadRequest)
+			return
+		}
+		if n < len(recs) {
+			recs = recs[len(recs)-n:]
+		}
+	}
+	writeJSON(w, http.StatusOK, recs)
+}
+
+// handleLatest returns the newest record, or 404 before the first
+// interval completes.
+func (s *Server) handleLatest(w http.ResponseWriter, r *http.Request) {
+	rec, ok := s.d.Latest()
+	if !ok {
+		http.Error(w, "no interval completed yet", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+// prediction is the /predict response: one VF state's projection from
+// the latest interval.
+type prediction struct {
+	Seq       uint64          `json:"seq"`
+	TimeS     float64         `json:"time_s"`
+	Measured  arch.VFState    `json:"measured_vf"`
+	Projected core.Projection `json:"projection"`
+}
+
+// handlePredict returns the latest report's projection at ?vf=N.
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	rec, ok := s.d.Latest()
+	if !ok {
+		http.Error(w, "no interval completed yet", http.StatusNotFound)
+		return
+	}
+	q := r.URL.Query().Get("vf")
+	if q == "" {
+		http.Error(w, "missing vf parameter (want vf=1..N)", http.StatusBadRequest)
+		return
+	}
+	n, err := strconv.Atoi(q)
+	if err != nil || n < 1 || n > len(rec.Report.PerVF) {
+		http.Error(w, fmt.Sprintf("bad vf %q: want 1..%d", q, len(rec.Report.PerVF)),
+			http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, http.StatusOK, prediction{
+		Seq:       rec.Seq,
+		TimeS:     rec.Interval.TimeS,
+		Measured:  rec.Report.MeasuredVF,
+		Projected: rec.Report.At(arch.VFState(n)),
+	})
+}
+
+// health is the /healthz response body.
+type health struct {
+	Status    string  `json:"status"` // "ok", "starting", or "stale"
+	Intervals uint64  `json:"intervals"`
+	AgeS      float64 `json:"last_interval_age_s"`
+}
+
+// handleHealthz reports loop liveness: 200 while intervals keep
+// completing within StaleAfter, 503 once they stop (a wedged or dead
+// sampling goroutine), and 200 "starting" during initial model/loop
+// spin-up before the first interval.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	now := s.opts.Now()
+	h := health{Intervals: s.d.Counters().Intervals.Load()}
+	last := s.lastWallNanos.Load()
+	var since time.Duration
+	if last == 0 {
+		h.Status = "starting"
+		since = now.Sub(s.startWall)
+	} else {
+		h.Status = "ok"
+		since = now.Sub(time.Unix(0, last))
+	}
+	h.AgeS = since.Seconds()
+	if since > s.opts.StaleAfter {
+		h.Status = "stale"
+		writeJSON(w, http.StatusServiceUnavailable, h)
+		return
+	}
+	writeJSON(w, http.StatusOK, h)
+}
+
+// handleMetrics renders the Prometheus text exposition: the latest
+// report's per-VF projections as gauges plus the daemon's operational
+// counters.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+	rec, ok := s.d.Latest()
+	if ok {
+		gauge(&b, "ppep_measured_power_watts", "Sensor-measured chip power over the last interval.",
+			rec.Interval.MeasPowerW)
+		gauge(&b, "ppep_diode_temp_kelvin", "Socket thermal diode reading.", rec.Interval.TempK)
+		gauge(&b, "ppep_measured_vf_state", "VF state the last interval ran at.",
+			float64(rec.Report.MeasuredVF))
+		gauge(&b, "ppep_interval_seq", "Sequence number of the last completed interval.",
+			float64(rec.Seq))
+		perVF(&b, "ppep_predicted_chip_watts", "Predicted chip power at each VF state.",
+			rec, func(p core.Projection) float64 { return p.ChipW })
+		perVF(&b, "ppep_predicted_idle_watts", "Predicted idle power at each VF state.",
+			rec, func(p core.Projection) float64 { return p.IdleW })
+		perVF(&b, "ppep_predicted_ips", "Predicted chip-wide instructions per second at each VF state.",
+			rec, func(p core.Projection) float64 { return p.TotalIPS })
+		perVF(&b, "ppep_predicted_interval_joules", "Predicted energy of one decision interval at each VF state.",
+			rec, func(p core.Projection) float64 { return p.IntervalEnergyJ })
+	}
+	for _, c := range counterRows(s.d.Counters().Snapshot()) {
+		counter(&b, c.name, c.help, c.val)
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	// best-effort: the client may have gone away mid-response
+	_, _ = w.Write([]byte(b.String()))
+}
+
+// counterRow is one operational counter's exposition metadata.
+type counterRow struct {
+	name, help string
+	val        uint64
+}
+
+// counterRows maps the daemon counter snapshot onto metric rows.
+func counterRows(c daemon.CounterSnapshot) []counterRow {
+	rows := []counterRow{
+		{"ppep_intervals_total", "Completed (sampled and analyzed) decision intervals.", c.Intervals},
+		{"ppep_skipped_intervals_total", "Intervals abandoned after exhausting the device retry budget.", c.SkippedIntervals},
+		{"ppep_analyze_errors_total", "Intervals rejected by the PPEP analysis pipeline.", c.AnalyzeErrors},
+		{"ppep_msr_read_retries_total", "Transient MSR faults that were retried.", c.MSRRetries},
+		{"ppep_msr_read_failures_total", "MSR operations that failed after the full retry budget.", c.MSRFailures},
+		{"ppep_hwmon_read_retries_total", "Transient thermal diode faults that were retried.", c.HwmonRetries},
+		{"ppep_hwmon_read_failures_total", "Diode reads that failed after the full retry budget.", c.HwmonFailures},
+		{"ppep_policy_rejects_total", "DVFS policy decisions the chip rejected.", c.PolicyRejects},
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	return rows
+}
+
+func gauge(b *strings.Builder, name, help string, v float64) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+}
+
+func counter(b *strings.Builder, name, help string, v uint64) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+}
+
+// perVF renders one gauge with a vf label per projection.
+func perVF(b *strings.Builder, name, help string, rec daemon.Record, f func(core.Projection) float64) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+	for _, p := range rec.Report.PerVF {
+		fmt.Fprintf(b, "%s{vf=\"%d\"} %g\n", name, int(p.VF), f(p))
+	}
+}

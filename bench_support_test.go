@@ -10,6 +10,7 @@ import (
 	"ppep/internal/experiments"
 	"ppep/internal/fxsim"
 	"ppep/internal/serve"
+	"ppep/internal/units"
 	"ppep/internal/workload"
 )
 
@@ -118,7 +119,7 @@ func benchmarkEventVec() arch.EventVec { return benchmarkRates() }
 // predictRates adapts eventpred for the benchmark without a long import
 // list in bench_test.go.
 func predictRates(ev arch.EventVec, from, to float64) (arch.EventVec, bool) {
-	return eventpred.PredictRates(ev, from, to)
+	return eventpred.PredictRates(ev, units.GigaHertz(from), units.GigaHertz(to))
 }
 
 // trainingSetOf rebuilds a TrainingSet view over a campaign's traces.

@@ -224,7 +224,7 @@ func BenchmarkDynEstimate(b *testing.B) {
 	b.ResetTimer()
 	var sink float64
 	for i := 0; i < b.N; i++ {
-		sink += c.Models.Dyn.EstimateCore(ev, 1.008)
+		sink += float64(c.Models.Dyn.EstimateCore(ev, 1.008))
 	}
 	_ = sink
 }
@@ -235,7 +235,7 @@ func BenchmarkIdleEstimate(b *testing.B) {
 	b.ResetTimer()
 	var sink float64
 	for i := 0; i < b.N; i++ {
-		sink += c.Models.Idle.Estimate(1.128, 320)
+		sink += float64(c.Models.Idle.Estimate(1.128, 320))
 	}
 	_ = sink
 }

@@ -69,7 +69,7 @@ func replay(models *core.Models, path string, tr *trace.Trace, detail int) {
 			continue
 		}
 		if iv.MeasPowerW > 0 {
-			errs = append(errs, stats.AbsPctErr(rep.Current().ChipW, iv.MeasPowerW))
+			errs = append(errs, stats.AbsPctErr(float64(rep.Current().ChipW), iv.MeasPowerW))
 		}
 		if i == detail {
 			fmt.Printf("\n%s interval %d (t=%.1fs, %v, %.1f°K, measured %.1fW):\n",

@@ -40,6 +40,7 @@ import (
 	"ppep/internal/msr"
 	"ppep/internal/serve"
 	"ppep/internal/trace"
+	"ppep/internal/units"
 	"ppep/internal/workload"
 )
 
@@ -182,7 +183,7 @@ func runBatch(chip *fxsim.Chip, models *core.Models, run workload.Run, policy st
 			}
 		})
 	case "cap":
-		ctl = &dvfs.PPEPCapper{Models: models, Target: func(float64) float64 { return fl.capW }}
+		ctl = &dvfs.PPEPCapper{Models: models, Target: func(units.Seconds) units.Watts { return units.Watts(fl.capW) }}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown policy %q\n", policy)
 		os.Exit(2)
@@ -386,7 +387,7 @@ func servePolicy(name string, models *core.Models, capW float64, counters *daemo
 			applyAll(ch, dvfs.EDPOptimal(rep), counters, rl)
 		})
 	case "cap":
-		capper := &dvfs.PPEPCapper{Models: models, Target: func(float64) float64 { return capW }}
+		capper := &dvfs.PPEPCapper{Models: models, Target: func(units.Seconds) units.Watts { return units.Watts(capW) }}
 		return daemon.PolicyFunc(func(ch *fxsim.Chip, iv trace.Interval, rep *core.Report) {
 			capper.Decide(ch, iv)
 		})

@@ -1,16 +1,21 @@
 // Command ppeplint runs the module's custom static-analysis suite
 // (internal/lint): hotpath allocation-freedom, simulation determinism,
-// worker-pool safety, and dropped-error checks. It is stdlib-only and
-// exits non-zero on any unsuppressed finding, so `make lint` / `make ci`
-// can gate merges on it. See docs/LINTING.md.
+// worker-pool safety, dropped-error checks, and unitcheck dimensional
+// analysis. It is stdlib-only and exits non-zero on any unsuppressed
+// finding, so `make lint` / `make ci` can gate merges on it. See
+// docs/LINTING.md and docs/UNITS.md.
 //
 // Usage:
 //
-//	ppeplint [-C dir] [-stats file] [patterns...]
+//	ppeplint [-C dir] [-json] [-stats file] [patterns...]
 //
 // Patterns default to ./... relative to -C (default: current directory).
+// -json replaces the plain `file:line: [analyzer] message` lines with a
+// JSON array of finding objects on stdout (machine-readable; the CI
+// problem matcher consumes the plain format, tooling the JSON one).
 // -stats writes a small JSON record (analyzed package count, findings,
-// suppressions, wall time) consumed by cmd/benchjson.
+// suppressions — total and per analyzer — and wall time) consumed by
+// cmd/benchjson.
 package main
 
 import (
@@ -24,16 +29,34 @@ import (
 	"ppep/internal/lint"
 )
 
+// analyzerStats is the per-analyzer slice of a run: how many findings
+// survived and how many an //ppep:allow directive absorbed.
+type analyzerStats struct {
+	Findings   int `json:"findings"`
+	Suppressed int `json:"suppressed"`
+}
+
 type stats struct {
-	AnalyzedPackages int   `json:"analyzed_packages"`
-	Findings         int   `json:"findings"`
-	Suppressed       int   `json:"suppressed"`
-	WallMS           int64 `json:"wall_ms"`
+	AnalyzedPackages int                      `json:"analyzed_packages"`
+	Findings         int                      `json:"findings"`
+	Suppressed       int                      `json:"suppressed"`
+	WallMS           int64                    `json:"wall_ms"`
+	Analyzers        map[string]analyzerStats `json:"analyzers"`
+}
+
+// jsonFinding is the -json output record for one finding.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
 }
 
 func main() {
 	dir := flag.String("C", ".", "directory to run in (module root or below)")
 	statsPath := flag.String("stats", "", "write run statistics as JSON to this file")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array instead of plain lines")
 	flag.Parse()
 
 	start := time.Now()
@@ -46,22 +69,63 @@ func main() {
 	wall := time.Since(start)
 
 	cwd, _ := os.Getwd() // best-effort; empty cwd falls back to absolute paths
-	for _, f := range findings {
-		name := f.Pos.Filename
+	relName := func(name string) string {
 		if cwd != "" {
 			if rel, err := filepath.Rel(cwd, name); err == nil && !filepath.IsAbs(rel) {
-				name = rel
+				return rel
 			}
 		}
-		fmt.Printf("%s:%d: [%s] %s\n", name, f.Pos.Line, f.Analyzer, f.Message)
+		return name
+	}
+
+	if *jsonOut {
+		recs := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			recs = append(recs, jsonFinding{
+				File:     relName(f.Pos.Filename),
+				Line:     f.Pos.Line,
+				Column:   f.Pos.Column,
+				Analyzer: f.Analyzer,
+				Message:  f.Message,
+			})
+		}
+		b, err := json.MarshalIndent(recs, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ppeplint:", err)
+			os.Exit(2)
+		}
+		fmt.Println(string(b))
+	} else {
+		for _, f := range findings {
+			fmt.Printf("%s:%d: [%s] %s\n", relName(f.Pos.Filename), f.Pos.Line, f.Analyzer, f.Message)
+		}
 	}
 
 	if *statsPath != "" {
+		perAnalyzer := map[string]analyzerStats{}
+		for name, n := range m.SuppressedBy() {
+			a := perAnalyzer[name]
+			a.Suppressed = n
+			perAnalyzer[name] = a
+		}
+		for _, f := range findings {
+			a := perAnalyzer[f.Analyzer]
+			a.Findings++
+			perAnalyzer[f.Analyzer] = a
+		}
+		// Analyzers with nothing to report still appear, so the BENCH
+		// record shows the full suite ran (unitcheck included).
+		for _, name := range lint.AnalyzerNames {
+			if _, ok := perAnalyzer[name]; !ok {
+				perAnalyzer[name] = analyzerStats{}
+			}
+		}
 		s := stats{
 			AnalyzedPackages: len(m.Packages),
 			Findings:         len(findings),
 			Suppressed:       m.Suppressed(),
 			WallMS:           wall.Milliseconds(),
+			Analyzers:        perAnalyzer,
 		}
 		b, err := json.MarshalIndent(s, "", "  ")
 		if err == nil {

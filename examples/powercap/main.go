@@ -13,6 +13,7 @@ import (
 	"ppep/internal/dvfs"
 	"ppep/internal/experiments"
 	"ppep/internal/fxsim"
+	"ppep/internal/units"
 	"ppep/internal/workload"
 )
 
@@ -27,8 +28,8 @@ func main() {
 
 	// The budget swings hard, as when a laptop loses wall power.
 	schedule := dvfs.StepSchedule(
-		[]float64{0, 15, 30},
-		[]float64{130, 48, 105},
+		[]units.Seconds{0, 15, 30},
+		[]units.Watts{130, 48, 105},
 	)
 
 	runWith := func(name string, ctl fxsim.Controller) []dvfs.CapStep {
@@ -70,6 +71,6 @@ func main() {
 	fmt.Printf("iterative:     settle %.2fs, adherence %.1f%%, %d violations\n",
 		im.MeanSettleS, 100*im.Adherence, im.Violations)
 	if pm.MeanSettleS > 0 {
-		fmt.Printf("PPEP settles %.1f× faster (paper: 14×)\n", im.MeanSettleS/pm.MeanSettleS)
+		fmt.Printf("PPEP settles %.1f× faster (paper: 14×)\n", im.MeanSettleS.Per(pm.MeanSettleS))
 	}
 }

@@ -10,7 +10,11 @@
 // either.
 package arch
 
-import "fmt"
+import (
+	"fmt"
+
+	"ppep/internal/units"
+)
 
 // VFState identifies a software-visible voltage-frequency state. The paper
 // numbers states VF1 (lowest) through VF5 (highest); we preserve that
@@ -31,8 +35,8 @@ func (s VFState) String() string { return fmt.Sprintf("VF%d", int(s)) }
 
 // VFPoint is one operating point: a core voltage and clock frequency.
 type VFPoint struct {
-	Voltage float64 // volts
-	Freq    float64 // GHz
+	Voltage units.Volts
+	Freq    units.GigaHertz
 }
 
 // VFTable is an ordered list of operating points, index 0 holding VF1.

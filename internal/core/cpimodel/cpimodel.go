@@ -15,44 +15,45 @@ import (
 
 	"ppep/internal/arch"
 	"ppep/internal/trace"
+	"ppep/internal/units"
 )
 
 // Sample is one interval's performance measurement at a known frequency.
 type Sample struct {
-	CPI     float64
-	MCPI    float64
-	FreqGHz float64
+	CPI     units.CPI
+	MCPI    units.CPI
+	FreqGHz units.GigaHertz
 }
 
 // CCPI returns the frequency-invariant core component.
-func (s Sample) CCPI() float64 { return s.CPI - s.MCPI }
+func (s Sample) CCPI() units.CPI { return s.CPI - s.MCPI }
 
 // Predict applies Equation 1: the CPI this workload would show at
 // targetGHz.
-func (s Sample) Predict(targetGHz float64) float64 {
-	return s.CCPI() + s.MCPI*targetGHz/s.FreqGHz
+func (s Sample) Predict(targetGHz units.GigaHertz) units.CPI {
+	return s.CCPI() + s.MCPI.ScaleFreq(targetGHz, s.FreqGHz)
 }
 
 // PredictIPS returns the instructions-per-second rate at targetGHz.
-func (s Sample) PredictIPS(targetGHz float64) float64 {
+func (s Sample) PredictIPS(targetGHz units.GigaHertz) units.InstPerSec {
 	cpi := s.Predict(targetGHz)
 	if cpi <= 0 {
 		return 0
 	}
-	return targetGHz * 1e9 / cpi
+	return targetGHz.OverCPI(cpi)
 }
 
 // FromCounters extracts a Sample from one core's interval event counts.
 // It returns ok=false when the core retired no instructions (idle core) —
 // there is no CPI to speak of.
-func FromCounters(ev arch.EventVec, fGHz float64) (Sample, bool) {
+func FromCounters(ev arch.EventVec, fGHz units.GigaHertz) (Sample, bool) {
 	inst := ev.Get(arch.RetiredInstructions)
 	if inst <= 0 {
 		return Sample{}, false
 	}
 	return Sample{
-		CPI:     ev.Get(arch.CPUClocksNotHalted) / inst,
-		MCPI:    ev.Get(arch.MABWaitCycles) / inst,
+		CPI:     units.CPI(ev.Get(arch.CPUClocksNotHalted) / inst),
+		MCPI:    units.CPI(ev.Get(arch.MABWaitCycles) / inst),
 		FreqGHz: fGHz,
 	}, true
 }
@@ -162,7 +163,9 @@ func (s segTrace) integrate(a, b float64, vals []float64) float64 {
 // predicts each segment's cycle count at fTo from the fFrom trace, and
 // returns the per-segment absolute relative errors versus the measured
 // fTo cycles.
-func SegmentErrors(from, to *trace.Trace, core int, fFrom, fTo, segInst float64) ([]float64, error) {
+//
+//ppep:allow unitcheck instruction counts and relative errors are dimensionless
+func SegmentErrors(from, to *trace.Trace, core int, fFrom, fTo units.GigaHertz, segInst float64) ([]float64, error) {
 	if segInst <= 0 {
 		return nil, fmt.Errorf("cpimodel: non-positive segment size")
 	}
@@ -179,7 +182,7 @@ func SegmentErrors(from, to *trace.Trace, core int, fFrom, fTo, segInst float64)
 	for a := 0.0; a+segInst <= total; a += segInst {
 		b := a + segInst
 		actual := st.cyclesIn(a, b)
-		pred := sf.predictedCyclesIn(a, b, fFrom, fTo)
+		pred := sf.predictedCyclesIn(a, b, float64(fFrom), float64(fTo))
 		if actual <= 0 {
 			continue
 		}

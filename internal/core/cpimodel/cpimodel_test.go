@@ -13,15 +13,15 @@ import (
 
 func TestPredictEquation1(t *testing.T) {
 	s := Sample{CPI: 1.0, MCPI: 0.4, FreqGHz: 3.5}
-	if got := s.CCPI(); math.Abs(got-0.6) > 1e-12 {
+	if got := s.CCPI(); math.Abs(float64(got-0.6)) > 1e-12 {
 		t.Errorf("CCPI = %v", got)
 	}
 	// At 1.75 GHz, MCPI halves: 0.6 + 0.4·0.5 = 0.8.
-	if got := s.Predict(1.75); math.Abs(got-0.8) > 1e-12 {
+	if got := s.Predict(1.75); math.Abs(float64(got-0.8)) > 1e-12 {
 		t.Errorf("Predict = %v", got)
 	}
 	// Same frequency round-trips.
-	if got := s.Predict(3.5); math.Abs(got-1.0) > 1e-12 {
+	if got := s.Predict(3.5); math.Abs(float64(got-1.0)) > 1e-12 {
 		t.Errorf("identity Predict = %v", got)
 	}
 }
@@ -30,7 +30,7 @@ func TestPredictIPS(t *testing.T) {
 	s := Sample{CPI: 1.0, MCPI: 0.4, FreqGHz: 3.5}
 	ips := s.PredictIPS(1.75)
 	want := 1.75e9 / 0.8
-	if math.Abs(ips-want) > 1 {
+	if math.Abs(float64(ips)-want) > 1 {
 		t.Errorf("IPS = %v, want %v", ips, want)
 	}
 	bad := Sample{CPI: 0, MCPI: 0, FreqGHz: 3.5}
@@ -48,7 +48,7 @@ func TestFromCounters(t *testing.T) {
 	if !ok {
 		t.Fatal("rejected valid counters")
 	}
-	if math.Abs(s.CPI-1.2) > 1e-12 || math.Abs(s.MCPI-0.3) > 1e-12 || s.FreqGHz != 2.9 {
+	if math.Abs(float64(s.CPI-1.2)) > 1e-12 || math.Abs(float64(s.MCPI-0.3)) > 1e-12 || s.FreqGHz != 2.9 {
 		t.Errorf("sample %+v", s)
 	}
 	if _, ok := FromCounters(arch.EventVec{}, 2.9); ok {

@@ -18,6 +18,7 @@ import (
 
 	"ppep/internal/arch"
 	"ppep/internal/stats"
+	"ppep/internal/units"
 )
 
 // NumScaled is the number of leading events whose weights scale with core
@@ -26,41 +27,43 @@ const NumScaled = 7
 
 // Model is the trained dynamic power model.
 type Model struct {
-	// W holds the Equation 3 weights for E1–E9, in watts per
-	// (event/second).
-	W [arch.NumPowerEvents]float64
+	// W holds the Equation 3 weights for E1–E9: watts per
+	// (event/second), i.e. joules per event.
+	W [arch.NumPowerEvents]units.JoulesPerEvent
 	// Alpha is the voltage-scaling exponent.
-	Alpha float64
+	Alpha float64 //ppep:allow unitcheck dimensionless process exponent of the (V/V5)^α scale
 	// VRef is the training voltage (V5).
-	VRef float64
+	VRef units.Volts
 }
 
 // scale returns the (V/V5)^α factor.
-func (m *Model) scale(v float64) float64 {
+func (m *Model) scale(v units.Volts) float64 {
 	if v == m.VRef {
 		return 1
 	}
-	return math.Pow(v/m.VRef, m.Alpha)
+	return math.Pow(v.Per(m.VRef), m.Alpha)
 }
 
 // EstimateRates returns the dynamic power for chip-wide summed event
 // rates (events/second) with all cores at voltage v.
-func (m *Model) EstimateRates(rates [arch.NumPowerEvents]float64, v float64) float64 {
+//
+//ppep:allow unitcheck EventVec-denominated per-second rates stay raw float64
+func (m *Model) EstimateRates(rates [arch.NumPowerEvents]float64, v units.Volts) units.Watts {
 	s := m.scale(v)
 	var w float64
 	for i := 0; i < NumScaled; i++ {
-		w += s * m.W[i] * rates[i]
+		w += s * float64(m.W[i]) * rates[i]
 	}
 	for i := NumScaled; i < arch.NumPowerEvents; i++ {
-		w += m.W[i] * rates[i]
+		w += float64(m.W[i]) * rates[i]
 	}
-	return w
+	return units.Watts(w)
 }
 
 // EstimateCore returns one core's attributed dynamic power from its event
 // rates at its voltage. Equation 3 uses the same weights for every core,
 // so the chip estimate is the sum of per-core estimates.
-func (m *Model) EstimateCore(ev arch.EventVec, v float64) float64 {
+func (m *Model) EstimateCore(ev arch.EventVec, v units.Volts) units.Watts {
 	return m.EstimateRates(ev.PowerEvents(), v)
 }
 
@@ -68,9 +71,9 @@ func (m *Model) EstimateCore(ev arch.EventVec, v float64) float64 {
 // rail voltage, and the measured dynamic power (measured chip power minus
 // the idle model's estimate).
 type Sample struct {
-	Rates   [arch.NumPowerEvents]float64
-	Voltage float64
-	DynW    float64
+	Rates   [arch.NumPowerEvents]float64 //ppep:allow unitcheck EventVec-denominated per-second rates stay raw float64
+	Voltage units.Volts
+	DynW    units.Watts
 }
 
 // Train fits the weights by least squares on samples taken at the
@@ -78,7 +81,7 @@ type Sample struct {
 // α on the full multi-voltage sample set by golden-section search.
 // Weights are constrained non-negative: a hardware event cannot remove
 // power, and the constraint keeps noisy regressions physical.
-func Train(samples []Sample, vRef float64) (*Model, error) {
+func Train(samples []Sample, vRef units.Volts) (*Model, error) {
 	var feats [][]float64
 	var targets []float64
 	for _, s := range samples {
@@ -86,7 +89,7 @@ func Train(samples []Sample, vRef float64) (*Model, error) {
 			continue
 		}
 		feats = append(feats, append([]float64(nil), s.Rates[:]...))
-		targets = append(targets, s.DynW)
+		targets = append(targets, float64(s.DynW))
 	}
 	if len(feats) < arch.NumPowerEvents {
 		return nil, fmt.Errorf("dynpower: %d reference-voltage samples insufficient", len(feats))
@@ -96,7 +99,9 @@ func Train(samples []Sample, vRef float64) (*Model, error) {
 		return nil, fmt.Errorf("dynpower: regression: %w", err)
 	}
 	m := &Model{VRef: vRef, Alpha: 2}
-	copy(m.W[:], lin.Weights)
+	for i := 0; i < len(lin.Weights) && i < len(m.W); i++ {
+		m.W[i] = units.JoulesPerEvent(lin.Weights[i])
+	}
 
 	// Calibrate α on every sample not at the reference voltage.
 	var offRef []Sample
@@ -110,7 +115,7 @@ func Train(samples []Sample, vRef float64) (*Model, error) {
 			m.Alpha = alpha
 			var sum float64
 			for _, s := range offRef {
-				d := m.EstimateRates(s.Rates, s.Voltage) - s.DynW
+				d := float64(m.EstimateRates(s.Rates, s.Voltage) - s.DynW)
 				sum += d * d
 			}
 			return sum
@@ -125,7 +130,7 @@ func Train(samples []Sample, vRef float64) (*Model, error) {
 func (m *Model) Validate(samples []Sample) stats.ErrorSummary {
 	var errs []float64
 	for _, s := range samples {
-		errs = append(errs, stats.AbsPctErr(m.EstimateRates(s.Rates, s.Voltage), s.DynW))
+		errs = append(errs, stats.AbsPctErr(float64(m.EstimateRates(s.Rates, s.Voltage)), float64(s.DynW)))
 	}
 	return stats.SummarizeAbsErrors(errs)
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"ppep/internal/arch"
+	"ppep/internal/units"
 )
 
 // synthSamples draws samples from a known Equation-3-form truth.
@@ -15,18 +16,18 @@ func synthSamples(trueW [arch.NumPowerEvents]float64, alpha, vRef float64, volta
 	for i := 0; i < n; i++ {
 		v := voltages[i%len(voltages)]
 		var s Sample
-		s.Voltage = v
+		s.Voltage = units.Volts(v)
 		scale := math.Pow(v/vRef, alpha)
 		for j := range s.Rates {
 			s.Rates[j] = rng.Float64() * 1e9
 			w := trueW[j]
 			if j < NumScaled {
-				s.DynW += scale * w * s.Rates[j]
+				s.DynW += units.Watts(scale * w * s.Rates[j])
 			} else {
-				s.DynW += w * s.Rates[j]
+				s.DynW += units.Watts(w * s.Rates[j])
 			}
 		}
-		s.DynW += rng.NormFloat64() * noise
+		s.DynW += units.Watts(rng.NormFloat64() * noise)
 		if s.DynW < 0 {
 			s.DynW = 0
 		}
@@ -46,7 +47,7 @@ func TestTrainRecoversWeights(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i, w := range testW {
-		if math.Abs(m.W[i]-w)/w > 1e-2 {
+		if math.Abs(float64(m.W[i])-w)/w > 1e-2 {
 			t.Errorf("W[%d] = %v, want %v", i, m.W[i], w)
 		}
 	}
@@ -109,12 +110,12 @@ func TestEstimateScalesOnlyCoreEvents(t *testing.T) {
 	var coreOnly, nbOnly [arch.NumPowerEvents]float64
 	coreOnly[0] = 1e9 // E1
 	nbOnly[8] = 1e9   // E9
-	vLow := 0.888
-	scale := math.Pow(vLow/1.32, 2)
-	if got := m.EstimateRates(coreOnly, vLow); math.Abs(got-scale) > 1e-12 {
+	vLow := units.Volts(0.888)
+	scale := math.Pow(float64(vLow)/1.32, 2)
+	if got := m.EstimateRates(coreOnly, vLow); math.Abs(float64(got)-scale) > 1e-12 {
 		t.Errorf("core event at low V: %v, want %v", got, scale)
 	}
-	if got := m.EstimateRates(nbOnly, vLow); math.Abs(got-1.0) > 1e-12 {
+	if got := m.EstimateRates(nbOnly, vLow); math.Abs(float64(got-1.0)) > 1e-12 {
 		t.Errorf("NB event must not scale: %v, want 1", got)
 	}
 }
@@ -122,7 +123,7 @@ func TestEstimateScalesOnlyCoreEvents(t *testing.T) {
 func TestEstimateCoreMatchesRates(t *testing.T) {
 	m := &Model{Alpha: 2, VRef: 1.32}
 	for i := range m.W {
-		m.W[i] = float64(i+1) * 1e-10
+		m.W[i] = units.JoulesPerEvent(i+1) * 1e-10
 	}
 	var ev arch.EventVec
 	for i := 0; i < arch.NumPowerEvents; i++ {

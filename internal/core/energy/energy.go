@@ -19,16 +19,19 @@ import (
 	"ppep/internal/arch"
 	"ppep/internal/stats"
 	"ppep/internal/trace"
+	"ppep/internal/units"
 )
 
 // PredictNextIntervalJ is PPEP's energy prediction: current estimated
 // power carried forward one interval.
-func PredictNextIntervalJ(estPowerW, intervalS float64) float64 {
-	return estPowerW * intervalS
+func PredictNextIntervalJ(estPowerW units.Watts, intervalS units.Seconds) units.Joules {
+	return estPowerW.Over(intervalS)
 }
 
 // EDP returns the energy-delay product for an energy and a delay.
-func EDP(energyJ, delayS float64) float64 { return energyJ * delayS }
+func EDP(energyJ units.Joules, delayS units.Seconds) units.JouleSeconds {
+	return energyJ.Times(delayS)
+}
 
 // NumGGFeatures is the size of the Green Governors activity vector.
 const NumGGFeatures = 5
@@ -37,14 +40,14 @@ const NumGGFeatures = 5
 type GreenGovernors struct {
 	// StaticW is the per-VF static power table (measured once, no
 	// temperature dependence).
-	StaticW map[arch.VFState]float64
+	StaticW map[arch.VFState]units.Watts
 	// C maps per-cycle core activity to effective capacitance:
 	// Ceff = C0 + C1·UPC + C2·FPC + C3·DCPC + C4·ICPC (uops, FPU ops,
 	// data-cache and icache accesses per unhalted cycle). NB-related
 	// events and temperature are deliberately absent — the design gap
 	// the paper identifies. Units fold the 1e9 cycles/GHz factor so
 	// that P_dyn = Ceff·V²·f(GHz).
-	C [NumGGFeatures]float64
+	C [NumGGFeatures]float64 //ppep:allow unitcheck folded effective-capacitance coefficients (cycles/GHz factor baked in)
 }
 
 // ceffFeatures extracts the Green Governors activity features: the model
@@ -69,7 +72,7 @@ func ceffFeatures(iv trace.Interval) [NumGGFeatures]float64 {
 }
 
 // EstimateChipW estimates chip power for an interval at its measured VF.
-func (g *GreenGovernors) EstimateChipW(iv trace.Interval, tbl arch.VFTable) float64 {
+func (g *GreenGovernors) EstimateChipW(iv trace.Interval, tbl arch.VFTable) units.Watts {
 	vf := iv.VF()
 	p := tbl.Point(vf)
 	f := ceffFeatures(iv)
@@ -80,7 +83,7 @@ func (g *GreenGovernors) EstimateChipW(iv trace.Interval, tbl arch.VFTable) floa
 	if ceff < 0 {
 		ceff = 0
 	}
-	return g.StaticW[vf] + ceff*p.Voltage*p.Voltage*p.Freq
+	return g.StaticW[vf] + units.Watts(ceff*float64(p.Voltage)*float64(p.Voltage)*float64(p.Freq))
 }
 
 // TrainGG fits the baseline from run traces and a per-VF idle table.
@@ -90,7 +93,7 @@ func (g *GreenGovernors) EstimateChipW(iv trace.Interval, tbl arch.VFTable) floa
 // reference-state discipline PPEP's dynamic model uses — so the baseline
 // is not additionally penalized by its CV²f scaling assumption when
 // evaluated there.
-func TrainGG(staticW map[arch.VFState]float64, traces []*trace.Trace, tbl arch.VFTable) (*GreenGovernors, error) {
+func TrainGG(staticW map[arch.VFState]units.Watts, traces []*trace.Trace, tbl arch.VFTable) (*GreenGovernors, error) {
 	var feats [][]float64
 	var targets []float64
 	top := tbl.Top()
@@ -110,13 +113,13 @@ func TrainGG(staticW map[arch.VFState]float64, traces []*trace.Trace, tbl arch.V
 				return nil, fmt.Errorf("energy: no static power entry for %v", vf)
 			}
 			f := ceffFeatures(iv)
-			vvf := p.Voltage * p.Voltage * p.Freq
+			vvf := p.Voltage.V2F(p.Freq)
 			row := make([]float64, NumGGFeatures)
 			for i := range f {
 				row[i] = f[i] * vvf
 			}
 			feats = append(feats, row)
-			targets = append(targets, iv.MeasPowerW-s)
+			targets = append(targets, iv.MeasPowerW-float64(s))
 		}
 	}
 	if len(feats) < NumGGFeatures {
@@ -135,14 +138,16 @@ func TrainGG(staticW map[arch.VFState]float64, traces []*trace.Trace, tbl arch.V
 // trace, given an estimator of the current interval's chip power. It
 // returns one absolute relative error per interval pair — the Figure 6
 // metric.
-func NextIntervalErrors(tr *trace.Trace, estimate func(trace.Interval) float64) []float64 {
+//
+//ppep:allow unitcheck relative errors are dimensionless
+func NextIntervalErrors(tr *trace.Trace, estimate func(trace.Interval) units.Watts) []float64 {
 	var errs []float64
 	for i := 0; i+1 < len(tr.Intervals); i++ {
 		cur := tr.Intervals[i]
 		next := tr.Intervals[i+1]
-		pred := PredictNextIntervalJ(estimate(cur), next.DurS)
+		pred := PredictNextIntervalJ(estimate(cur), units.Seconds(next.DurS))
 		meas := next.MeasPowerW * next.DurS
-		errs = append(errs, stats.AbsPctErr(pred, meas))
+		errs = append(errs, stats.AbsPctErr(float64(pred), meas))
 	}
 	return errs
 }

@@ -6,10 +6,11 @@ import (
 
 	"ppep/internal/arch"
 	"ppep/internal/trace"
+	"ppep/internal/units"
 )
 
 func TestPredictNextIntervalJ(t *testing.T) {
-	if got := PredictNextIntervalJ(75, 0.2); math.Abs(got-15) > 1e-12 {
+	if got := PredictNextIntervalJ(75, 0.2); math.Abs(float64(got-15)) > 1e-12 {
 		t.Errorf("energy = %v", got)
 	}
 }
@@ -38,8 +39,8 @@ func mkInterval(vf arch.VFState, upc, fpc, measW float64) trace.Interval {
 	}
 }
 
-func staticTable() map[arch.VFState]float64 {
-	return map[arch.VFState]float64{
+func staticTable() map[arch.VFState]units.Watts {
+	return map[arch.VFState]units.Watts{
 		arch.VF1: 12, arch.VF2: 16, arch.VF3: 22, arch.VF4: 28, arch.VF5: 35,
 	}
 }
@@ -59,7 +60,7 @@ func TestTrainGGRecoversCV2F(t *testing.T) {
 			upc := 0.5 + 0.1*float64(i%4)
 			fpc := 0.07 * float64(i/4%3)
 			ceff := c0 + c1*upc + c2*fpc
-			iv := mkInterval(vf, upc, fpc, static[vf]+ceff*p.Voltage*p.Voltage*p.Freq)
+			iv := mkInterval(vf, upc, fpc, float64(static[vf])+ceff*p.Voltage.V2F(p.Freq))
 			tr.Intervals = append(tr.Intervals, iv)
 		}
 		traces = append(traces, tr)
@@ -71,8 +72,8 @@ func TestTrainGGRecoversCV2F(t *testing.T) {
 	// Estimates reproduce the generating law on held-out activity.
 	iv := mkInterval(arch.VF3, 0.8, 0.2, 0)
 	p := tbl.Point(arch.VF3)
-	want := static[arch.VF3] + (c0+c1*0.8+c2*0.2)*p.Voltage*p.Voltage*p.Freq
-	if got := g.EstimateChipW(iv, tbl); math.Abs(got-want)/want > 1e-3 {
+	want := float64(static[arch.VF3]) + (c0+c1*0.8+c2*0.2)*p.Voltage.V2F(p.Freq)
+	if got := g.EstimateChipW(iv, tbl); math.Abs(float64(got)-want)/want > 1e-3 {
 		t.Errorf("estimate %v, want %v", got, want)
 	}
 }
@@ -82,7 +83,7 @@ func TestTrainGGValidation(t *testing.T) {
 		t.Error("no data accepted")
 	}
 	tr := &trace.Trace{Intervals: []trace.Interval{mkInterval(arch.VF5, 0.5, 0.1, 50)}}
-	missing := map[arch.VFState]float64{arch.VF1: 10}
+	missing := map[arch.VFState]units.Watts{arch.VF1: 10}
 	if _, err := TrainGG(missing, []*trace.Trace{tr}, arch.FX8320VFTable); err == nil {
 		t.Error("missing static entry accepted")
 	}
@@ -98,7 +99,7 @@ func TestGGIdleCycleFallback(t *testing.T) {
 	}
 	got := g.EstimateChipW(iv, arch.FX8320VFTable)
 	// No core retired cycles → no per-core Ceff terms → static only.
-	if math.Abs(got-35) > 1e-9 {
+	if math.Abs(float64(got-35)) > 1e-9 {
 		t.Errorf("idle estimate %v, want static-only 35", got)
 	}
 }
@@ -110,7 +111,7 @@ func TestNextIntervalErrors(t *testing.T) {
 		tr.Intervals = append(tr.Intervals, iv)
 	}
 	// Perfect estimator (always 100 W) on constant-power trace → 0 error.
-	errs := NextIntervalErrors(tr, func(trace.Interval) float64 { return 100 })
+	errs := NextIntervalErrors(tr, func(trace.Interval) units.Watts { return 100 })
 	if len(errs) != 3 {
 		t.Fatalf("errs = %d", len(errs))
 	}
@@ -120,7 +121,7 @@ func TestNextIntervalErrors(t *testing.T) {
 		}
 	}
 	// 10% biased estimator → 10% everywhere.
-	errs = NextIntervalErrors(tr, func(trace.Interval) float64 { return 110 })
+	errs = NextIntervalErrors(tr, func(trace.Interval) units.Watts { return 110 })
 	for _, e := range errs {
 		if math.Abs(e-0.1) > 1e-12 {
 			t.Errorf("error %v, want 0.1", e)
@@ -128,7 +129,7 @@ func TestNextIntervalErrors(t *testing.T) {
 	}
 	// Phase change: estimator perfect per interval, but power moves.
 	tr.Intervals[2].MeasPowerW = 150
-	errs = NextIntervalErrors(tr, func(iv trace.Interval) float64 { return iv.MeasPowerW })
+	errs = NextIntervalErrors(tr, func(iv trace.Interval) units.Watts { return units.Watts(iv.MeasPowerW) })
 	if errs[1] == 0 {
 		t.Error("phase-change error should be non-zero")
 	}

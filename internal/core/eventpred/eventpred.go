@@ -18,26 +18,27 @@ package eventpred
 import (
 	"ppep/internal/arch"
 	"ppep/internal/core/cpimodel"
+	"ppep/internal/units"
 )
 
 // PredictRates converts one core's event rates (events/second) at fFrom
 // into predicted rates at fTo. ok is false for an idle core (no retired
 // instructions — nothing to predict).
-func PredictRates(ev arch.EventVec, fFrom, fTo float64) (arch.EventVec, bool) {
+func PredictRates(ev arch.EventVec, fFrom, fTo units.GigaHertz) (arch.EventVec, bool) {
 	instRate := ev.Get(arch.RetiredInstructions)
 	if instRate <= 0 || fFrom <= 0 || fTo <= 0 {
 		return arch.EventVec{}, false
 	}
 	s := cpimodel.Sample{
-		CPI:     ev.Get(arch.CPUClocksNotHalted) / instRate,
-		MCPI:    ev.Get(arch.MABWaitCycles) / instRate,
+		CPI:     units.CPI(ev.Get(arch.CPUClocksNotHalted) / instRate),
+		MCPI:    units.CPI(ev.Get(arch.MABWaitCycles) / instRate),
 		FreqGHz: fFrom,
 	}
 	cpiTo := s.Predict(fTo)
 	if cpiTo <= 0 {
 		return arch.EventVec{}, false
 	}
-	instRateTo := fTo * 1e9 / cpiTo
+	instRateTo := float64(fTo.OverCPI(cpiTo))
 
 	var out arch.EventVec
 	// Observation 1: E1–E8 per instruction carry over unchanged.
@@ -48,42 +49,42 @@ func PredictRates(ev arch.EventVec, fFrom, fTo float64) (arch.EventVec, bool) {
 	// Observation 2: the gap CPI − DS/inst is VF-invariant, so
 	// DS/inst(f') = CPI(f') − gap.
 	dsPerInst := ev.Get(arch.DispatchStalls) / instRate
-	gap := s.CPI - dsPerInst
-	dsTo := cpiTo - gap
+	gap := float64(s.CPI) - dsPerInst
+	dsTo := float64(cpiTo) - gap
 	if dsTo < 0 {
 		dsTo = 0
 	}
 	out.Set(arch.DispatchStalls, dsTo*instRateTo)
 	// Performance events follow from the CPI prediction directly.
-	out.Set(arch.CPUClocksNotHalted, cpiTo*instRateTo)
+	out.Set(arch.CPUClocksNotHalted, float64(cpiTo)*instRateTo)
 	out.Set(arch.RetiredInstructions, instRateTo)
-	out.Set(arch.MABWaitCycles, s.MCPI*(fTo/fFrom)*instRateTo)
+	out.Set(arch.MABWaitCycles, float64(s.MCPI)*fTo.Per(fFrom)*instRateTo)
 	return out, true
 }
 
 // Gap returns the Observation 2 invariant, CPI − DispatchStalls/inst, for
 // a core's rates, and ok=false for an idle core. Experiments use it to
 // verify the observation on simulator traces.
-func Gap(ev arch.EventVec) (float64, bool) {
+func Gap(ev arch.EventVec) (units.CPI, bool) {
 	inst := ev.Get(arch.RetiredInstructions)
 	if inst <= 0 {
 		return 0, false
 	}
 	cpi := ev.Get(arch.CPUClocksNotHalted) / inst
 	ds := ev.Get(arch.DispatchStalls) / inst
-	return cpi - ds, true
+	return units.CPI(cpi - ds), true
 }
 
 // PerInstruction returns the E1–E8 per-instruction rates (the
 // Observation 1 fingerprint), and ok=false for an idle core.
-func PerInstruction(ev arch.EventVec) ([8]float64, bool) {
-	var out [8]float64
+func PerInstruction(ev arch.EventVec) ([8]units.EventsPerInst, bool) {
+	var out [8]units.EventsPerInst
 	inst := ev.Get(arch.RetiredInstructions)
 	if inst <= 0 {
 		return out, false
 	}
 	for i := range out {
-		out[i] = ev[i] / inst
+		out[i] = units.EventsPerInst(ev[i] / inst)
 	}
 	return out, true
 }

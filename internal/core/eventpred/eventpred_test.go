@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"ppep/internal/arch"
+	"ppep/internal/units"
 )
 
 // mkRates builds a consistent event-rate vector for a synthetic workload
@@ -46,7 +47,7 @@ func TestPredictMatchesGroundTruth(t *testing.T) {
 		from, to := pair[0], pair[1]
 		src := mkRates(from, 0.7, 0.1, 0.2)
 		want := mkRates(to, 0.7, 0.1, 0.2)
-		got, ok := PredictRates(src, from, to)
+		got, ok := PredictRates(src, units.GigaHertz(from), units.GigaHertz(to))
 		if !ok {
 			t.Fatalf("%v→%v rejected", from, to)
 		}
@@ -97,12 +98,12 @@ func TestGapInvariantAcrossPredictions(t *testing.T) {
 		t.Fatal("gap rejected")
 	}
 	for _, f := range []float64{1.4, 1.7, 2.3, 2.9} {
-		pred, _ := PredictRates(ev, 3.5, f)
+		pred, _ := PredictRates(ev, 3.5, units.GigaHertz(f))
 		g, ok := Gap(pred)
 		if !ok {
 			t.Fatalf("gap at %v rejected", f)
 		}
-		if math.Abs(g-g0) > 1e-9 {
+		if math.Abs(float64(g-g0)) > 1e-9 {
 			t.Errorf("gap at %v GHz: %v, want invariant %v", f, g, g0)
 		}
 	}
@@ -122,7 +123,7 @@ func TestPerInstructionFingerprint(t *testing.T) {
 	}
 	want := []float64{1.3, 0.4, 0.25, 0.45, 0.02, 0.15, 0.005, 0.008}
 	for i := range fp {
-		if math.Abs(fp[i]-want[i]) > 1e-12 {
+		if math.Abs(float64(fp[i])-want[i]) > 1e-12 {
 			t.Errorf("fingerprint[%d] = %v, want %v", i, fp[i], want[i])
 		}
 	}
@@ -140,11 +141,11 @@ func TestPredictRoundTripProperty(t *testing.T) {
 		from := freqs[int(fi)%len(freqs)]
 		to := freqs[int(fj)%len(freqs)]
 		ev := mkRates(from, ccpi, memNS, 0.15)
-		fwd, ok := PredictRates(ev, from, to)
+		fwd, ok := PredictRates(ev, units.GigaHertz(from), units.GigaHertz(to))
 		if !ok {
 			return false
 		}
-		back, ok := PredictRates(fwd, to, from)
+		back, ok := PredictRates(fwd, units.GigaHertz(to), units.GigaHertz(from))
 		if !ok {
 			return false
 		}

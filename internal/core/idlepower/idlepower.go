@@ -17,6 +17,7 @@ import (
 	"ppep/internal/arch"
 	"ppep/internal/stats"
 	"ppep/internal/trace"
+	"ppep/internal/units"
 )
 
 // Model is a trained idle power model.
@@ -26,16 +27,17 @@ type Model struct {
 }
 
 // Estimate returns the chip idle power at core voltage vV and package
-// temperature tK.
-func (m *Model) Estimate(vV, tK float64) float64 {
-	return m.W1.Eval(vV)*tK + m.W0.Eval(vV)
+// temperature tK. W1 evaluates to the Equation 2 slope in W/K, W0 to the
+// offset in W.
+func (m *Model) Estimate(vV units.Volts, tK units.Kelvin) units.Watts {
+	return units.WattsPerKelvin(m.W1.Eval(float64(vV))).Times(tK) + units.Watts(m.W0.Eval(float64(vV)))
 }
 
 // VFObservations is the cooling-trace data for one VF state.
 type VFObservations struct {
-	Voltage float64
-	TempK   []float64
-	PowerW  []float64
+	Voltage units.Volts
+	TempK   []units.Kelvin
+	PowerW  []units.Watts
 }
 
 // Train fits the model from per-VF cooling observations. At least two VF
@@ -55,13 +57,17 @@ func Train(obs []VFObservations) (*Model, error) {
 		}
 		feats := make([][]float64, len(o.TempK))
 		for i, tk := range o.TempK {
-			feats[i] = []float64{tk}
+			feats[i] = []float64{float64(tk)}
 		}
-		lin, err := stats.OLSIntercept(feats, o.PowerW)
+		targets := make([]float64, len(o.PowerW))
+		for i, p := range o.PowerW {
+			targets[i] = float64(p)
+		}
+		lin, err := stats.OLSIntercept(feats, targets)
 		if err != nil {
 			return nil, fmt.Errorf("idlepower: linear fit at %.3f V: %w", o.Voltage, err)
 		}
-		volts = append(volts, o.Voltage)
+		volts = append(volts, float64(o.Voltage))
 		w1s = append(w1s, lin.Weights[0])
 		w0s = append(w0s, lin.Intercept)
 	}
@@ -85,8 +91,8 @@ func Train(obs []VFObservations) (*Model, error) {
 func ObservationsFromTrace(t *trace.Trace, tbl arch.VFTable) VFObservations {
 	var o VFObservations
 	for _, iv := range t.Intervals {
-		o.TempK = append(o.TempK, iv.TempK)
-		o.PowerW = append(o.PowerW, iv.MeasPowerW)
+		o.TempK = append(o.TempK, units.Kelvin(iv.TempK))
+		o.PowerW = append(o.PowerW, units.Watts(iv.MeasPowerW))
 		o.Voltage = tbl.Point(iv.VF()).Voltage
 	}
 	return o
@@ -111,7 +117,7 @@ func (m *Model) Validate(t *trace.Trace, tbl arch.VFTable) stats.ErrorSummary {
 	var errs []float64
 	for _, iv := range t.Intervals {
 		v := tbl.Point(iv.VF()).Voltage
-		errs = append(errs, stats.AbsPctErr(m.Estimate(v, iv.TempK), iv.MeasPowerW))
+		errs = append(errs, stats.AbsPctErr(float64(m.Estimate(v, units.Kelvin(iv.TempK))), iv.MeasPowerW))
 	}
 	return stats.SummarizeAbsErrors(errs)
 }

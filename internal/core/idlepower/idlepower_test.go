@@ -8,6 +8,7 @@ import (
 	"ppep/internal/fxsim"
 	"ppep/internal/stats"
 	"ppep/internal/trace"
+	"ppep/internal/units"
 )
 
 // syntheticObs builds observations from a known linear law
@@ -16,9 +17,10 @@ func syntheticObs(w1, w0 func(v float64) float64) []VFObservations {
 	var obs []VFObservations
 	for _, p := range arch.FX8320VFTable {
 		o := VFObservations{Voltage: p.Voltage}
+		v := float64(p.Voltage)
 		for tk := 300.0; tk <= 340; tk += 2 {
-			o.TempK = append(o.TempK, tk)
-			o.PowerW = append(o.PowerW, w1(p.Voltage)*tk+w0(p.Voltage))
+			o.TempK = append(o.TempK, units.Kelvin(tk))
+			o.PowerW = append(o.PowerW, units.Watts(w1(v)*tk+w0(v)))
 		}
 		obs = append(obs, o)
 	}
@@ -33,10 +35,11 @@ func TestTrainRecoversLinearLaw(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, p := range arch.FX8320VFTable {
+		v := float64(p.Voltage)
 		for tk := 302.0; tk <= 338; tk += 7 {
-			want := w1(p.Voltage)*tk + w0(p.Voltage)
-			got := m.Estimate(p.Voltage, tk)
-			if math.Abs(got-want)/want > 1e-4 {
+			want := w1(v)*tk + w0(v)
+			got := m.Estimate(p.Voltage, units.Kelvin(tk))
+			if math.Abs(float64(got)-want)/want > 1e-4 {
 				t.Errorf("V=%.3f T=%.0f: %v vs %v", p.Voltage, tk, got, want)
 			}
 		}
@@ -51,15 +54,15 @@ func TestTrainValidation(t *testing.T) {
 		t.Error("single VF accepted")
 	}
 	bad := []VFObservations{
-		{Voltage: 1.0, TempK: []float64{300}, PowerW: []float64{20, 21}},
-		{Voltage: 1.1, TempK: []float64{300, 310}, PowerW: []float64{20, 21}},
+		{Voltage: 1.0, TempK: []units.Kelvin{300}, PowerW: []units.Watts{20, 21}},
+		{Voltage: 1.1, TempK: []units.Kelvin{300, 310}, PowerW: []units.Watts{20, 21}},
 	}
 	if _, err := Train(bad); err == nil {
 		t.Error("ragged observations accepted")
 	}
 	short := []VFObservations{
-		{Voltage: 1.0, TempK: []float64{300}, PowerW: []float64{20}},
-		{Voltage: 1.1, TempK: []float64{300, 310}, PowerW: []float64{20, 21}},
+		{Voltage: 1.0, TempK: []units.Kelvin{300}, PowerW: []units.Watts{20}},
+		{Voltage: 1.1, TempK: []units.Kelvin{300, 310}, PowerW: []units.Watts{20, 21}},
 	}
 	if _, err := Train(short); err == nil {
 		t.Error("single-sample VF accepted")
@@ -68,8 +71,8 @@ func TestTrainValidation(t *testing.T) {
 
 func TestTrainTwoStatesReducesDegree(t *testing.T) {
 	obs := []VFObservations{
-		{Voltage: 1.0, TempK: []float64{300, 320, 340}, PowerW: []float64{10, 11, 12}},
-		{Voltage: 1.3, TempK: []float64{300, 320, 340}, PowerW: []float64{25, 27, 29}},
+		{Voltage: 1.0, TempK: []units.Kelvin{300, 320, 340}, PowerW: []units.Watts{10, 11, 12}},
+		{Voltage: 1.3, TempK: []units.Kelvin{300, 320, 340}, PowerW: []units.Watts{25, 27, 29}},
 	}
 	m, err := Train(obs)
 	if err != nil {
@@ -79,7 +82,7 @@ func TestTrainTwoStatesReducesDegree(t *testing.T) {
 		t.Errorf("degrees %d/%d with two voltage points", m.W1.Degree(), m.W0.Degree())
 	}
 	// Interpolates the training points.
-	if got := m.Estimate(1.0, 320); math.Abs(got-11) > 1e-6 {
+	if got := m.Estimate(1.0, 320); math.Abs(float64(got-11)) > 1e-6 {
 		t.Errorf("estimate %v, want 11", got)
 	}
 }
@@ -127,12 +130,12 @@ func TestModelMonotoneInTemperature(t *testing.T) {
 	// Leakage grows with temperature; W1 must be positive in the
 	// operating range.
 	for _, p := range arch.FX8320VFTable {
-		if m.W1.Eval(p.Voltage) <= 0 {
-			t.Errorf("W1(%.3f V) = %v, want positive", p.Voltage, m.W1.Eval(p.Voltage))
+		if m.W1.Eval(float64(p.Voltage)) <= 0 {
+			t.Errorf("W1(%.3f V) = %v, want positive", p.Voltage, m.W1.Eval(float64(p.Voltage)))
 		}
 	}
 	// And idle power must rise with voltage at fixed temperature.
-	prev := 0.0
+	prev := units.Watts(0)
 	for _, p := range arch.FX8320VFTable {
 		cur := m.Estimate(p.Voltage, 320)
 		if cur <= prev {

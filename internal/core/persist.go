@@ -10,6 +10,7 @@ import (
 	"ppep/internal/core/idlepower"
 	"ppep/internal/core/pgidle"
 	"ppep/internal/stats"
+	"ppep/internal/units"
 )
 
 // modelsJSON is the serialized form of a trained model set. Training is a
@@ -60,22 +61,26 @@ func (m *Models) Save(w io.Writer) error {
 	if m.Idle == nil || m.Dyn == nil {
 		return fmt.Errorf("core: cannot save untrained models")
 	}
+	ws := make([]float64, len(m.Dyn.W))
+	for i, w := range m.Dyn.W {
+		ws[i] = float64(w)
+	}
 	out := modelsJSON{
 		Version: modelsVersion,
 		Idle:    idleJSON{W1: m.Idle.W1, W0: m.Idle.W0},
-		Dyn:     dynJSON{W: m.Dyn.W[:], Alpha: m.Dyn.Alpha, VRef: m.Dyn.VRef},
+		Dyn:     dynJSON{W: ws, Alpha: m.Dyn.Alpha, VRef: float64(m.Dyn.VRef)},
 		PGOn:    m.PGEnabled,
 	}
 	if m.Thermal != nil {
-		out.Thermal = &thermalJSON{AmbientK: m.Thermal.AmbientK, RthKPerW: m.Thermal.RthKPerW}
+		out.Thermal = &thermalJSON{AmbientK: float64(m.Thermal.AmbientK), RthKPerW: float64(m.Thermal.RthKPerW)}
 	}
 	for _, p := range m.Table {
-		out.Platform.Voltages = append(out.Platform.Voltages, p.Voltage)
-		out.Platform.Freqs = append(out.Platform.Freqs, p.Freq)
+		out.Platform.Voltages = append(out.Platform.Voltages, float64(p.Voltage))
+		out.Platform.Freqs = append(out.Platform.Freqs, float64(p.Freq))
 	}
 	for _, s := range m.Table.States() {
 		if d, ok := m.PG[s]; ok {
-			out.PG = append(out.PG, pgJSON{State: int(s), CU: d.PidleCU, NB: d.PidleNB, Base: d.PidleBase})
+			out.PG = append(out.PG, pgJSON{State: int(s), CU: float64(d.PidleCU), NB: float64(d.PidleNB), Base: float64(d.PidleBase)})
 		}
 	}
 	enc := json.NewEncoder(w)
@@ -100,16 +105,18 @@ func LoadModels(r io.Reader) (*Models, error) {
 	}
 	m := &Models{
 		Idle:      &idlepower.Model{W1: stats.Poly(in.Idle.W1), W0: stats.Poly(in.Idle.W0)},
-		Dyn:       &dynpower.Model{Alpha: in.Dyn.Alpha, VRef: in.Dyn.VRef},
+		Dyn:       &dynpower.Model{Alpha: in.Dyn.Alpha, VRef: units.Volts(in.Dyn.VRef)},
 		PGEnabled: in.PGOn,
 	}
 	if in.Thermal != nil {
-		m.Thermal = &ThermalFeedback{AmbientK: in.Thermal.AmbientK, RthKPerW: in.Thermal.RthKPerW}
+		m.Thermal = &ThermalFeedback{AmbientK: units.Kelvin(in.Thermal.AmbientK), RthKPerW: units.KelvinPerWatt(in.Thermal.RthKPerW)}
 	}
-	copy(m.Dyn.W[:], in.Dyn.W)
+	for i, w := range in.Dyn.W {
+		m.Dyn.W[i] = units.JoulesPerEvent(w)
+	}
 	for i := range in.Platform.Voltages {
 		m.Table = append(m.Table, arch.VFPoint{
-			Voltage: in.Platform.Voltages[i], Freq: in.Platform.Freqs[i],
+			Voltage: units.Volts(in.Platform.Voltages[i]), Freq: units.GigaHertz(in.Platform.Freqs[i]),
 		})
 	}
 	if len(in.PG) > 0 {
@@ -119,7 +126,7 @@ func LoadModels(r io.Reader) (*Models, error) {
 			if !m.Table.Contains(s) {
 				return nil, fmt.Errorf("core: PG entry for unknown state %d", p.State)
 			}
-			m.PG[s] = pgidle.Decomposition{PidleCU: p.CU, PidleNB: p.NB, PidleBase: p.Base}
+			m.PG[s] = pgidle.Decomposition{PidleCU: units.Watts(p.CU), PidleNB: units.Watts(p.NB), PidleBase: units.Watts(p.Base)}
 		}
 	}
 	return m, nil

@@ -59,7 +59,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range a.PerVF {
-		if math.Abs(a.PerVF[i].ChipW-b.PerVF[i].ChipW) > 1e-9 {
+		if math.Abs(float64(a.PerVF[i].ChipW-b.PerVF[i].ChipW)) > 1e-9 {
 			t.Errorf("%v: loaded models predict %v, original %v",
 				a.PerVF[i].VF, b.PerVF[i].ChipW, a.PerVF[i].ChipW)
 		}

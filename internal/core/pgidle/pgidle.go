@@ -16,20 +16,22 @@ package pgidle
 
 import (
 	"fmt"
+
+	"ppep/internal/units"
 )
 
 // Decomposition is the extracted idle power structure at one VF state.
 type Decomposition struct {
-	PidleCU   float64 // one compute unit's idle power
-	PidleNB   float64 // the north bridge's idle power
-	PidleBase float64 // un-gateable base power
+	PidleCU   units.Watts // one compute unit's idle power
+	PidleNB   units.Watts // the north bridge's idle power
+	PidleBase units.Watts // un-gateable base power
 }
 
 // Sweep is the Figure 4 measurement at one VF state: measured chip power
 // with k busy CUs (index k, 0..N) for both PG settings.
 type Sweep struct {
-	PGOff []float64 // len N+1
-	PGOn  []float64 // len N+1
+	PGOff []units.Watts // len N+1
+	PGOn  []units.Watts // len N+1
 }
 
 // Decompose extracts the idle power components from a sweep.
@@ -47,16 +49,16 @@ func Decompose(s Sweep) (Decomposition, error) {
 		gap := s.PGOff[k] - s.PGOn[k]
 		idleCUs := float64(n - k)
 		if idleCUs > 0 {
-			sum += gap / idleCUs
+			sum += float64(gap) / idleCUs
 			cnt++
 		}
 	}
 	if cnt == 0 {
 		return Decomposition{}, fmt.Errorf("pgidle: sweep too small to isolate P_idle(CU)")
 	}
-	d.PidleCU = sum / float64(cnt)
+	d.PidleCU = units.Watts(sum / float64(cnt))
 	idleGap := s.PGOff[0] - s.PGOn[0]
-	d.PidleNB = idleGap - float64(n)*d.PidleCU
+	d.PidleNB = idleGap - units.Watts(float64(n)*float64(d.PidleCU))
 	if d.PidleNB < 0 {
 		d.PidleNB = 0
 	}
@@ -68,27 +70,28 @@ func Decompose(s Sweep) (Decomposition, error) {
 // (Equations 7 and 8). numCUs is the chip's CU count, busyInCU the busy
 // cores sharing the core's CU (m), busyInChip the busy cores chip-wide
 // (n). Zero busy cores attribute nothing.
-func (d Decomposition) PerCoreIdleW(pgEnabled bool, numCUs, busyInCU, busyInChip int) float64 {
+func (d Decomposition) PerCoreIdleW(pgEnabled bool, numCUs, busyInCU, busyInChip int) units.Watts {
 	if busyInChip <= 0 || busyInCU <= 0 {
 		return 0
 	}
 	if pgEnabled {
 		// Equation 7: busy cores in a CU share that CU's idle power; all
 		// busy cores share NB + base.
-		return d.PidleCU/float64(busyInCU) + (d.PidleNB+d.PidleBase)/float64(busyInChip)
+		return units.Watts(float64(d.PidleCU)/float64(busyInCU)) +
+			units.Watts(float64(d.PidleNB+d.PidleBase)/float64(busyInChip))
 	}
 	// Equation 8: nothing is gated; all busy cores share everything.
-	return (float64(numCUs)*d.PidleCU + d.PidleNB + d.PidleBase) / float64(busyInChip)
+	return units.Watts((float64(numCUs)*float64(d.PidleCU) + float64(d.PidleNB) + float64(d.PidleBase)) / float64(busyInChip))
 }
 
 // ChipIdleW returns the chip-level idle power implied by the
 // decomposition for a given number of busy CUs.
-func (d Decomposition) ChipIdleW(pgEnabled bool, numCUs, busyCUs int) float64 {
+func (d Decomposition) ChipIdleW(pgEnabled bool, numCUs, busyCUs int) units.Watts {
 	if !pgEnabled {
-		return float64(numCUs)*d.PidleCU + d.PidleNB + d.PidleBase
+		return units.Watts(float64(numCUs)*float64(d.PidleCU)) + d.PidleNB + d.PidleBase
 	}
 	if busyCUs <= 0 {
 		return d.PidleBase
 	}
-	return float64(busyCUs)*d.PidleCU + d.PidleNB + d.PidleBase
+	return units.Watts(float64(busyCUs)*float64(d.PidleCU)) + d.PidleNB + d.PidleBase
 }

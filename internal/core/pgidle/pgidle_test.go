@@ -3,6 +3,8 @@ package pgidle
 import (
 	"math"
 	"testing"
+
+	"ppep/internal/units"
 )
 
 // synthSweep constructs a Figure 4 sweep from known components: each busy
@@ -17,8 +19,8 @@ func synthSweep(n int, pidleCU, pidleNB, pidleBase, dynW float64) Sweep {
 		} else {
 			on = float64(k)*pidleCU + pidleNB + pidleBase + float64(k)*dynW
 		}
-		s.PGOff = append(s.PGOff, off)
-		s.PGOn = append(s.PGOn, on)
+		s.PGOff = append(s.PGOff, units.Watts(off))
+		s.PGOn = append(s.PGOn, units.Watts(on))
 	}
 	return s
 }
@@ -29,26 +31,26 @@ func TestDecomposeExact(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if math.Abs(d.PidleCU-4.2) > 1e-9 {
+	if math.Abs(float64(d.PidleCU-4.2)) > 1e-9 {
 		t.Errorf("PidleCU = %v", d.PidleCU)
 	}
-	if math.Abs(d.PidleNB-6.0) > 1e-9 {
+	if math.Abs(float64(d.PidleNB-6.0)) > 1e-9 {
 		t.Errorf("PidleNB = %v", d.PidleNB)
 	}
-	if math.Abs(d.PidleBase-3.0) > 1e-9 {
+	if math.Abs(float64(d.PidleBase-3.0)) > 1e-9 {
 		t.Errorf("PidleBase = %v", d.PidleBase)
 	}
 }
 
 func TestDecomposeValidation(t *testing.T) {
-	if _, err := Decompose(Sweep{PGOff: []float64{1}, PGOn: []float64{1}}); err == nil {
+	if _, err := Decompose(Sweep{PGOff: []units.Watts{1}, PGOn: []units.Watts{1}}); err == nil {
 		t.Error("degenerate sweep accepted")
 	}
-	if _, err := Decompose(Sweep{PGOff: []float64{1, 2, 3}, PGOn: []float64{1, 2}}); err == nil {
+	if _, err := Decompose(Sweep{PGOff: []units.Watts{1, 2, 3}, PGOn: []units.Watts{1, 2}}); err == nil {
 		t.Error("mismatched arrays accepted")
 	}
 	// Two entries (N=1) has no informative middle case.
-	if _, err := Decompose(Sweep{PGOff: []float64{5, 9}, PGOn: []float64{2, 9}}); err == nil {
+	if _, err := Decompose(Sweep{PGOff: []units.Watts{5, 9}, PGOn: []units.Watts{2, 9}}); err == nil {
 		t.Error("N=1 sweep accepted")
 	}
 }
@@ -71,7 +73,7 @@ func TestPerCoreIdleEquation7(t *testing.T) {
 	// PG on, 2 busy cores in the CU, 4 busy chip-wide:
 	// 4/2 + (6+2)/4 = 2 + 2 = 4.
 	got := d.PerCoreIdleW(true, 4, 2, 4)
-	if math.Abs(got-4) > 1e-12 {
+	if math.Abs(float64(got-4)) > 1e-12 {
 		t.Errorf("Eq7 = %v, want 4", got)
 	}
 }
@@ -80,7 +82,7 @@ func TestPerCoreIdleEquation8(t *testing.T) {
 	d := Decomposition{PidleCU: 4, PidleNB: 6, PidleBase: 2}
 	// PG off, 4 CUs, 4 busy cores: (4·4+6+2)/4 = 6.
 	got := d.PerCoreIdleW(false, 4, 1, 4)
-	if math.Abs(got-6) > 1e-12 {
+	if math.Abs(float64(got-6)) > 1e-12 {
 		t.Errorf("Eq8 = %v, want 6", got)
 	}
 }
@@ -108,14 +110,14 @@ func TestPerCoreSumsToChipIdle(t *testing.T) {
 		}
 	}
 	for _, pg := range []bool{true, false} {
-		var sum float64
+		var sum units.Watts
 		for _, m := range busyPerCU {
 			for c := 0; c < m; c++ {
 				sum += d.PerCoreIdleW(pg, numCUs, m, n)
 			}
 		}
 		want := d.ChipIdleW(pg, numCUs, busyCUs)
-		if math.Abs(sum-want) > 1e-9 {
+		if math.Abs(float64(sum-want)) > 1e-9 {
 			t.Errorf("pg=%v: per-core sum %v, chip idle %v", pg, sum, want)
 		}
 	}

@@ -22,6 +22,7 @@ import (
 	"ppep/internal/core/idlepower"
 	"ppep/internal/core/pgidle"
 	"ppep/internal/trace"
+	"ppep/internal/units"
 )
 
 // Models bundles the trained PPEP component models for one platform.
@@ -47,34 +48,34 @@ type Models struct {
 
 // ThermalFeedback is the fitted steady-state thermal line.
 type ThermalFeedback struct {
-	AmbientK float64
-	RthKPerW float64
+	AmbientK units.Kelvin
+	RthKPerW units.KelvinPerWatt
 }
 
 // SteadyTempK returns the predicted steady-state temperature at a power.
-func (t *ThermalFeedback) SteadyTempK(powerW float64) float64 {
-	return t.AmbientK + t.RthKPerW*powerW
+func (t *ThermalFeedback) SteadyTempK(powerW units.Watts) units.Kelvin {
+	return t.AmbientK + t.RthKPerW.Times(powerW)
 }
 
 // Projection is the predicted state of the chip at one VF state.
 type Projection struct {
 	VF arch.VFState
 	// PerCoreCPI is each core's predicted CPI (0 for idle cores).
-	PerCoreCPI []float64
+	PerCoreCPI []units.CPI
 	// PerCoreDynW is each core's attributed dynamic power.
-	PerCoreDynW []float64
+	PerCoreDynW []units.Watts
 	// TotalIPS is the chip-wide predicted instruction throughput.
-	TotalIPS float64
+	TotalIPS units.InstPerSec
 	// IdleW, DynW, and ChipW decompose the predicted chip power.
-	IdleW, DynW, ChipW float64
+	IdleW, DynW, ChipW units.Watts
 	// IntervalEnergyJ is the predicted energy of one decision interval
 	// at this state.
-	IntervalEnergyJ float64
+	IntervalEnergyJ units.Joules
 }
 
 // Report is the full PPE analysis of one interval.
 type Report struct {
-	TempK float64
+	TempK units.Kelvin
 	// MeasuredVF is the state the interval actually ran at.
 	MeasuredVF arch.VFState
 	// PerVF holds one projection per VF state, index 0 = VF1.
@@ -96,15 +97,15 @@ func (m *Models) Analyze(iv trace.Interval) (*Report, error) {
 	if len(iv.Counters) == 0 {
 		return nil, fmt.Errorf("core: interval has no per-core counters")
 	}
-	rep := &Report{TempK: iv.TempK, MeasuredVF: iv.VF()}
+	rep := &Report{TempK: units.Kelvin(iv.TempK), MeasuredVF: iv.VF()}
 	fFrom := m.Table.Point(rep.MeasuredVF).Freq
 
 	for _, s := range m.Table.States() {
 		pt := m.Table.Point(s)
 		proj := Projection{
 			VF:          s,
-			PerCoreCPI:  make([]float64, len(iv.Counters)),
-			PerCoreDynW: make([]float64, len(iv.Counters)),
+			PerCoreCPI:  make([]units.CPI, len(iv.Counters)),
+			PerCoreDynW: make([]units.Watts, len(iv.Counters)),
 		}
 		for c := range iv.Counters {
 			rates := iv.CoreRates(c)
@@ -114,9 +115,9 @@ func (m *Models) Analyze(iv trace.Interval) (*Report, error) {
 			}
 			inst := pred.Get(arch.RetiredInstructions)
 			if inst > 0 {
-				proj.PerCoreCPI[c] = pred.Get(arch.CPUClocksNotHalted) / inst
+				proj.PerCoreCPI[c] = units.CPI(pred.Get(arch.CPUClocksNotHalted) / inst)
 			}
-			proj.TotalIPS += inst
+			proj.TotalIPS += units.InstPerSec(inst)
 			dynW := m.Dyn.EstimateCore(pred, pt.Voltage)
 			proj.PerCoreDynW[c] = dynW
 			proj.DynW += dynW
@@ -130,12 +131,12 @@ func (m *Models) Analyze(iv trace.Interval) (*Report, error) {
 		if m.Thermal != nil && s != rep.MeasuredVF && !m.PGEnabled {
 			adj := iv
 			for it := 0; it < 2; it++ {
-				adj.TempK = m.Thermal.SteadyTempK(proj.ChipW)
-				proj.IdleW = m.Idle.Estimate(pt.Voltage, adj.TempK)
+				adj.TempK = float64(m.Thermal.SteadyTempK(proj.ChipW))
+				proj.IdleW = m.Idle.Estimate(pt.Voltage, units.Kelvin(adj.TempK))
 				proj.ChipW = proj.IdleW + proj.DynW
 			}
 		}
-		proj.IntervalEnergyJ = proj.ChipW * iv.DurS
+		proj.IntervalEnergyJ = proj.ChipW.Over(units.Seconds(iv.DurS))
 		rep.PerVF = append(rep.PerVF, proj)
 	}
 	return rep, nil
@@ -145,18 +146,18 @@ func (m *Models) Analyze(iv trace.Interval) (*Report, error) {
 // gating enabled and a Figure 4 decomposition available, gated compute
 // units are excluded (the Section IV-D "new power model"); otherwise the
 // temperature-aware Equation 2 model applies.
-func (m *Models) idleAt(s arch.VFState, v float64, iv trace.Interval) float64 {
+func (m *Models) idleAt(s arch.VFState, v units.Volts, iv trace.Interval) units.Watts {
 	if m.PGEnabled {
 		if d, ok := m.PG[s]; ok {
 			return d.ChipIdleW(true, cusOf(m, iv), busyCUCount(iv, m))
 		}
 	}
-	return m.Idle.Estimate(v, iv.TempK)
+	return m.Idle.Estimate(v, units.Kelvin(iv.TempK))
 }
 
 // EstimateChipW is the one-state shortcut: PPEP's estimate of the chip
 // power for an interval at its measured VF state.
-func (m *Models) EstimateChipW(iv trace.Interval) (float64, error) {
+func (m *Models) EstimateChipW(iv trace.Interval) (units.Watts, error) {
 	rep, err := m.Analyze(iv)
 	if err != nil {
 		return 0, err
@@ -168,13 +169,13 @@ func (m *Models) EstimateChipW(iv trace.Interval) (float64, error) {
 // the per-CU power-capping policy of Section V-B, which assumes separate
 // per-CU power planes). topo maps cores to CUs; assign holds one state
 // per CU.
-func (m *Models) PredictChipW(iv trace.Interval, topo arch.Topology, assign []arch.VFState) (float64, error) {
+func (m *Models) PredictChipW(iv trace.Interval, topo arch.Topology, assign []arch.VFState) (units.Watts, error) {
 	if len(assign) != topo.NumCUs {
 		return 0, fmt.Errorf("core: %d assignments for %d CUs", len(assign), topo.NumCUs)
 	}
 	fFrom := m.Table.Point(iv.VF()).Freq
-	var dyn float64
-	maxV := 0.0
+	var dyn units.Watts
+	maxV := units.Volts(0)
 	for cu, s := range assign {
 		if !m.Table.Contains(s) {
 			return 0, fmt.Errorf("core: invalid state %v for CU %d", s, cu)
@@ -221,22 +222,22 @@ func (m *Models) PredictChipW(iv trace.Interval, topo arch.Topology, assign []ar
 // SplitPower is the detailed core/NB decomposition of a projection's
 // power estimate (Section V-C).
 type SplitPower struct {
-	CoreDynW  float64 // E1–E7 terms of Eq. 3
-	NBDynW    float64 // E8–E9 terms of Eq. 3 (the NB activity proxy)
-	CoreIdleW float64 // CU idle power share
-	NBIdleW   float64 // NB idle power
-	BaseW     float64 // un-gateable base power
+	CoreDynW  units.Watts // E1–E7 terms of Eq. 3
+	NBDynW    units.Watts // E8–E9 terms of Eq. 3 (the NB activity proxy)
+	CoreIdleW units.Watts // CU idle power share
+	NBIdleW   units.Watts // NB idle power
+	BaseW     units.Watts // un-gateable base power
 }
 
 // CoreW returns the core-side total (Figure 10's Energy(Core) basis).
-func (s SplitPower) CoreW() float64 { return s.CoreDynW + s.CoreIdleW }
+func (s SplitPower) CoreW() units.Watts { return s.CoreDynW + s.CoreIdleW }
 
 // NBW returns the NB-side total, with the base power accounted on the NB
 // side as on the paper's measurement boundary.
-func (s SplitPower) NBW() float64 { return s.NBDynW + s.NBIdleW + s.BaseW }
+func (s SplitPower) NBW() units.Watts { return s.NBDynW + s.NBIdleW + s.BaseW }
 
 // TotalW sums both sides.
-func (s SplitPower) TotalW() float64 { return s.CoreW() + s.NBW() }
+func (s SplitPower) TotalW() units.Watts { return s.CoreW() + s.NBW() }
 
 // SplitDetail splits a projection's power estimate into core and NB
 // components. The dynamic split follows Equation 3's structure (E1–E7
@@ -272,7 +273,7 @@ func (m *Models) SplitDetail(iv trace.Interval, proj Projection) SplitPower {
 }
 
 // SplitCoreNB is the two-way shortcut over SplitDetail.
-func (m *Models) SplitCoreNB(iv trace.Interval, proj Projection) (coreW, nbW float64) {
+func (m *Models) SplitCoreNB(iv trace.Interval, proj Projection) (coreW, nbW units.Watts) {
 	s := m.SplitDetail(iv, proj)
 	return s.CoreW(), s.NBW()
 }

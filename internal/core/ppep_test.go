@@ -88,7 +88,7 @@ func TestChipPowerEstimationAccuracy(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			errs = append(errs, stats.AbsPctErr(est, iv.MeasPowerW))
+			errs = append(errs, stats.AbsPctErr(float64(est), iv.MeasPowerW))
 		}
 	}
 	s := stats.SummarizeAbsErrors(errs)
@@ -124,7 +124,7 @@ func TestCrossVFPowerPrediction(t *testing.T) {
 					if err != nil {
 						t.Fatal(err)
 					}
-					predSum += rep.At(to).ChipW
+					predSum += float64(rep.At(to).ChipW)
 					n++
 				}
 				if n == 0 {
@@ -158,10 +158,10 @@ func TestAnalyzeStructure(t *testing.T) {
 		if proj.ChipW <= 0 || proj.IdleW <= 0 {
 			t.Errorf("%v: non-positive power", proj.VF)
 		}
-		if math.Abs(proj.ChipW-(proj.IdleW+proj.DynW)) > 1e-9 {
+		if math.Abs(float64(proj.ChipW-(proj.IdleW+proj.DynW))) > 1e-9 {
 			t.Errorf("%v: power decomposition broken", proj.VF)
 		}
-		if math.Abs(proj.IntervalEnergyJ-proj.ChipW*iv.DurS) > 1e-9 {
+		if math.Abs(float64(proj.IntervalEnergyJ)-float64(proj.ChipW)*iv.DurS) > 1e-9 {
 			t.Errorf("%v: energy inconsistent", proj.VF)
 		}
 	}
@@ -212,7 +212,7 @@ func TestPredictChipWPerCU(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if math.Abs(hi-rep.At(arch.VF5).ChipW) > 1e-6 {
+	if math.Abs(float64(hi-rep.At(arch.VF5).ChipW)) > 1e-6 {
 		t.Errorf("uniform per-CU %v vs Analyze %v", hi, rep.At(arch.VF5).ChipW)
 	}
 	// Validation errors.
@@ -242,7 +242,7 @@ func TestSplitCoreNBShapes(t *testing.T) {
 					t.Fatal(err)
 				}
 				coreW, nbW := m.SplitCoreNB(iv, rep.At(arch.VF5))
-				return nbW / (coreW + nbW)
+				return nbW.Per(coreW + nbW)
 			}
 		}
 		t.Fatalf("run %s not found", name)

@@ -9,6 +9,7 @@ import (
 	"ppep/internal/core/pgidle"
 	"ppep/internal/stats"
 	"ppep/internal/trace"
+	"ppep/internal/units"
 )
 
 // RunTrace is one benchmark combination's measurement trace at one VF
@@ -83,7 +84,7 @@ func FitThermal(runs []RunTrace) *ThermalFeedback {
 	if err != nil || lin.Weights[0] <= 0 {
 		return nil
 	}
-	return &ThermalFeedback{AmbientK: lin.Intercept, RthKPerW: lin.Weights[0]}
+	return &ThermalFeedback{AmbientK: units.Kelvin(lin.Intercept), RthKPerW: units.KelvinPerWatt(lin.Weights[0])}
 }
 
 // DynSamples converts run traces into dynamic power training samples:
@@ -115,7 +116,7 @@ func SteadyIntervals(tr *trace.Trace) []trace.Interval {
 func DynSample(iv trace.Interval, idle *idlepower.Model, tbl arch.VFTable) dynpower.Sample {
 	v := tbl.Point(iv.VF()).Voltage
 	rates := iv.TotalRates()
-	dynW := iv.MeasPowerW - idle.Estimate(v, iv.TempK)
+	dynW := units.Watts(iv.MeasPowerW) - idle.Estimate(v, units.Kelvin(iv.TempK))
 	if dynW < 0 {
 		dynW = 0
 	}

@@ -14,6 +14,7 @@ import (
 	"ppep/internal/fxsim"
 	"ppep/internal/stats"
 	"ppep/internal/trace"
+	"ppep/internal/units"
 	"ppep/internal/workload"
 )
 
@@ -128,7 +129,7 @@ func TestDaemonEstimatesTrackMeasuredPower(t *testing.T) {
 	var errs []float64
 	ivs := d.Intervals()
 	for i, rep := range d.Reports() {
-		errs = append(errs, stats.AbsPctErr(rep.Current().ChipW, ivs[i].MeasPowerW))
+		errs = append(errs, stats.AbsPctErr(float64(rep.Current().ChipW), ivs[i].MeasPowerW))
 	}
 	s := stats.SummarizeAbsErrors(errs)
 	if s.Mean > 0.15 {
@@ -183,7 +184,7 @@ func TestDaemonPolicyDrivesVF(t *testing.T) {
 }
 
 func TestDaemonCappingPolicy(t *testing.T) {
-	capper := &dvfs.PPEPCapper{Models: models(t), Target: func(float64) float64 { return 40 }}
+	capper := &dvfs.PPEPCapper{Models: models(t), Target: func(units.Seconds) units.Watts { return 40 }}
 	policy := PolicyFunc(func(chip *fxsim.Chip, iv trace.Interval, rep *core.Report) {
 		capper.Decide(chip, iv)
 	})

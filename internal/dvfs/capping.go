@@ -10,16 +10,17 @@ import (
 	"ppep/internal/core"
 	"ppep/internal/fxsim"
 	"ppep/internal/trace"
+	"ppep/internal/units"
 )
 
 // CapSchedule maps time to the active power budget (the stepped target of
 // Figure 7).
-type CapSchedule func(timeS float64) float64
+type CapSchedule func(timeS units.Seconds) units.Watts
 
 // StepSchedule builds a schedule from breakpoints: targets[i] applies
 // from times[i] (sorted) onward.
-func StepSchedule(times []float64, targets []float64) CapSchedule {
-	return func(t float64) float64 {
+func StepSchedule(times []units.Seconds, targets []units.Watts) CapSchedule {
+	return func(t units.Seconds) units.Watts {
 		cap := targets[0]
 		for i, start := range times {
 			if t >= start {
@@ -32,9 +33,9 @@ func StepSchedule(times []float64, targets []float64) CapSchedule {
 
 // CapStep records one interval of a capping run.
 type CapStep struct {
-	TimeS   float64
-	TargetW float64
-	MeasW   float64
+	TimeS   units.Seconds
+	TargetW units.Watts
+	MeasW   units.Watts
 	States  []arch.VFState // per CU after the decision
 }
 
@@ -46,7 +47,7 @@ type PPEPCapper struct {
 	Target CapSchedule
 	// MarginFrac backs the effective budget off the cap to absorb
 	// prediction error and sensor noise (default 4% when zero).
-	MarginFrac float64
+	MarginFrac float64 //ppep:allow unitcheck dimensionless backoff fraction
 	// Uniform restricts the controller to a single chip-wide state (the
 	// real FX's shared voltage rail) instead of per-CU assignments —
 	// the ablation counterpart of the Section V-B per-CU assumption.
@@ -58,29 +59,33 @@ type PPEPCapper struct {
 // Decide implements fxsim.Controller.
 func (p *PPEPCapper) Decide(chip *fxsim.Chip, iv trace.Interval) {
 	topo := chip.Topology()
-	capW := p.Target(iv.TimeS)
+	capW := p.Target(units.Seconds(iv.TimeS))
 	margin := p.MarginFrac
 	if margin == 0 {
 		margin = 0.04
 	}
+	budget := units.Watts(float64(capW) * (1 - margin))
 	var assign []arch.VFState
 	if p.Uniform {
-		assign = p.chooseUniform(iv, topo, capW*(1-margin))
+		assign = p.chooseUniform(iv, topo, budget)
 	} else {
-		assign = p.chooseAssignment(iv, topo, capW*(1-margin))
+		assign = p.chooseAssignment(iv, topo, budget)
 	}
 	for cu, s := range assign {
 		// out-of-range requests are clamped by the chip; nothing to handle
 		_ = chip.SetPState(cu, s)
 	}
 	p.History = append(p.History, CapStep{
-		TimeS: iv.TimeS, TargetW: capW, MeasW: iv.MeasPowerW, States: assign,
+		TimeS:   units.Seconds(iv.TimeS),
+		TargetW: capW,
+		MeasW:   units.Watts(iv.MeasPowerW),
+		States:  assign,
 	})
 }
 
 // chooseUniform picks the highest single chip-wide state whose predicted
 // power fits the budget.
-func (p *PPEPCapper) chooseUniform(iv trace.Interval, topo arch.Topology, capW float64) []arch.VFState {
+func (p *PPEPCapper) chooseUniform(iv trace.Interval, topo arch.Topology, capW units.Watts) []arch.VFState {
 	tbl := p.Models.Table
 	assign := make([]arch.VFState, topo.NumCUs)
 	for s := tbl.Top(); s >= tbl.Bottom(); s-- {
@@ -102,13 +107,13 @@ func (p *PPEPCapper) chooseUniform(iv trace.Interval, topo arch.Topology, capW f
 // the cap: start with every CU at the top state, and while the predicted
 // power exceeds the budget, lower the CU whose downstep costs the least
 // predicted throughput per watt saved.
-func (p *PPEPCapper) chooseAssignment(iv trace.Interval, topo arch.Topology, capW float64) []arch.VFState {
+func (p *PPEPCapper) chooseAssignment(iv trace.Interval, topo arch.Topology, capW units.Watts) []arch.VFState {
 	tbl := p.Models.Table
 	assign := make([]arch.VFState, topo.NumCUs)
 	for cu := range assign {
 		assign[cu] = tbl.Top()
 	}
-	power := func(a []arch.VFState) float64 {
+	power := func(a []arch.VFState) units.Watts {
 		w, err := p.Models.PredictChipW(iv, topo, a)
 		if err != nil {
 			return 0
@@ -119,7 +124,7 @@ func (p *PPEPCapper) chooseAssignment(iv trace.Interval, topo arch.Topology, cap
 	for cur > capW {
 		bestCU := -1
 		bestScore := 0.0
-		var bestPower float64
+		var bestPower units.Watts
 		for cu := range assign {
 			if assign[cu] <= tbl.Bottom() {
 				continue
@@ -133,9 +138,9 @@ func (p *PPEPCapper) chooseAssignment(iv trace.Interval, topo arch.Topology, cap
 			}
 			// Performance loss proxy: frequency drop weighted by the
 			// CU's current instruction rate share.
-			lost := p.cuIPSShare(iv, topo, cu) *
-				(tbl.Point(assign[cu]).Freq - tbl.Point(trial[cu]).Freq)
-			score := saved / (lost + 1e-9)
+			dropGHz := tbl.Point(assign[cu]).Freq - tbl.Point(trial[cu]).Freq
+			lost := p.cuIPSShare(iv, topo, cu) * float64(dropGHz)
+			score := float64(saved) / (lost + 1e-9)
 			if bestCU == -1 || score > bestScore {
 				bestCU, bestScore, bestPower = cu, score, w
 			}
@@ -174,7 +179,7 @@ type IterativeCapper struct {
 	Target CapSchedule
 	// UpHysteresis is the fraction of the cap below which the controller
 	// tries stepping back up (default 0.92 when zero).
-	UpHysteresis float64
+	UpHysteresis float64 //ppep:allow unitcheck dimensionless hysteresis fraction
 	// OneCUPerStep makes each interval adjust a single CU by one state —
 	// the finest-grained reactive search, and the configuration whose
 	// convergence the paper's 2.8 s settling time reflects. When false,
@@ -187,7 +192,7 @@ type IterativeCapper struct {
 func (c *IterativeCapper) Decide(chip *fxsim.Chip, iv trace.Interval) {
 	topo := chip.Topology()
 	tbl := chip.VFTable()
-	capW := c.Target(iv.TimeS)
+	capW := c.Target(units.Seconds(iv.TimeS))
 	hys := c.UpHysteresis
 	if hys == 0 {
 		hys = 0.92
@@ -196,7 +201,7 @@ func (c *IterativeCapper) Decide(chip *fxsim.Chip, iv trace.Interval) {
 	for cu := range states {
 		states[cu] = chip.PState(cu)
 	}
-	if iv.MeasPowerW > capW {
+	if units.Watts(iv.MeasPowerW) > capW {
 		if c.OneCUPerStep {
 			// Lower the highest-state CU one notch.
 			best := -1
@@ -215,7 +220,7 @@ func (c *IterativeCapper) Decide(chip *fxsim.Chip, iv trace.Interval) {
 				}
 			}
 		}
-	} else if iv.MeasPowerW < capW*hys {
+	} else if iv.MeasPowerW < float64(capW)*hys {
 		if c.OneCUPerStep {
 			// Raise the lowest-state CU one notch.
 			best := -1
@@ -240,7 +245,10 @@ func (c *IterativeCapper) Decide(chip *fxsim.Chip, iv trace.Interval) {
 		_ = chip.SetPState(cu, s)
 	}
 	c.History = append(c.History, CapStep{
-		TimeS: iv.TimeS, TargetW: capW, MeasW: iv.MeasPowerW, States: states,
+		TimeS:   units.Seconds(iv.TimeS),
+		TargetW: capW,
+		MeasW:   units.Watts(iv.MeasPowerW),
+		States:  states,
 	})
 }
 
@@ -248,25 +256,25 @@ func (c *IterativeCapper) Decide(chip *fxsim.Chip, iv trace.Interval) {
 type CapMetrics struct {
 	// Adherence is the fraction of intervals whose measured power was
 	// within the budget (with a small tolerance for sensor noise).
-	Adherence float64
+	Adherence float64 //ppep:allow unitcheck dimensionless compliance fraction
 	// MeanSettleS is the average time from a budget drop to the first
 	// compliant interval.
-	MeanSettleS float64
+	MeanSettleS units.Seconds
 	// Violations counts over-budget intervals.
 	Violations int
 }
 
 // AnalyzeCapping computes metrics from a controller history. tolW is the
 // compliance tolerance in watts (sensor noise allowance).
-func AnalyzeCapping(hist []CapStep, tolW float64) CapMetrics {
+func AnalyzeCapping(hist []CapStep, tolW units.Watts) CapMetrics {
 	var m CapMetrics
 	if len(hist) == 0 {
 		return m
 	}
 	compliant := 0
-	var settleSum float64
+	var settleSum units.Seconds
 	var settles int
-	pendingDrop := -1.0 // time of an unresolved budget drop
+	pendingDrop := units.Seconds(-1) // time of an unresolved budget drop
 	for i, st := range hist {
 		ok := st.MeasW <= st.TargetW+tolW
 		if ok {
@@ -285,7 +293,7 @@ func AnalyzeCapping(hist []CapStep, tolW float64) CapMetrics {
 	}
 	m.Adherence = float64(compliant) / float64(len(hist))
 	if settles > 0 {
-		m.MeanSettleS = settleSum / float64(settles)
+		m.MeanSettleS = units.Seconds(float64(settleSum) / float64(settles))
 	}
 	return m
 }

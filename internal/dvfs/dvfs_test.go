@@ -10,6 +10,7 @@ import (
 	"ppep/internal/core/pgidle"
 	"ppep/internal/fxsim"
 	"ppep/internal/trace"
+	"ppep/internal/units"
 	"ppep/internal/workload"
 )
 
@@ -59,8 +60,11 @@ func trainedModels(t *testing.T) *core.Models {
 }
 
 func TestStepSchedule(t *testing.T) {
-	s := StepSchedule([]float64{0, 10, 20}, []float64{100, 60, 90})
-	cases := []struct{ t, want float64 }{
+	s := StepSchedule([]units.Seconds{0, 10, 20}, []units.Watts{100, 60, 90})
+	cases := []struct {
+		t    units.Seconds
+		want units.Watts
+	}{
 		{0, 100}, {5, 100}, {10, 60}, {15, 60}, {20, 90}, {99, 90},
 	}
 	for _, c := range cases {
@@ -85,7 +89,7 @@ func TestAnalyzeCapping(t *testing.T) {
 	if math.Abs(m.Adherence-3.0/5.0) > 1e-12 {
 		t.Errorf("adherence = %v", m.Adherence)
 	}
-	if math.Abs(m.MeanSettleS-0.6) > 1e-12 {
+	if math.Abs(float64(m.MeanSettleS-0.6)) > 1e-12 {
 		t.Errorf("settle = %v", m.MeanSettleS)
 	}
 	empty := AnalyzeCapping(nil, 0)
@@ -114,8 +118,8 @@ func runCapping(t *testing.T, ctl fxsim.Controller) *trace.Trace {
 // figure7Schedule swings the budget the way the paper's experiment does.
 func figure7Schedule() CapSchedule {
 	return StepSchedule(
-		[]float64{0, 12, 24},
-		[]float64{130, 48, 105},
+		[]units.Seconds{0, 12, 24},
+		[]units.Watts{130, 48, 105},
 	)
 }
 
@@ -251,7 +255,7 @@ func TestUniformCappingTrailsPerCU(t *testing.T) {
 	// tight cap versus the shared-rail uniform controller: mixed
 	// workloads let the greedy policy keep CPU-bound CUs fast.
 	m := trainedModels(t)
-	sched := func(float64) float64 { return 55 }
+	sched := func(units.Seconds) units.Watts { return 55 }
 	perCU := &PPEPCapper{Models: m, Target: sched}
 	runCapping(t, perCU)
 	uniform := &PPEPCapper{Models: m, Target: sched, Uniform: true}

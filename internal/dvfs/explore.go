@@ -6,6 +6,7 @@ import (
 	"ppep/internal/arch"
 	"ppep/internal/core"
 	"ppep/internal/trace"
+	"ppep/internal/units"
 )
 
 // EDPoint is one VF state's position in the energy-delay space for the
@@ -13,13 +14,13 @@ import (
 type EDPoint struct {
 	VF arch.VFState
 	// PowerW is the predicted chip power at this state.
-	PowerW float64
+	PowerW units.Watts
 	// JPerInst is the predicted energy per retired instruction.
-	JPerInst float64
+	JPerInst units.JoulesPerInst
 	// SPerInst is the predicted delay per instruction (1/IPS).
-	SPerInst float64
+	SPerInst units.SecondsPerInst
 	// EDP is JPerInst × SPerInst (per-instruction energy-delay product).
-	EDP float64
+	EDP units.EDP
 }
 
 // EDSpace converts a PPEP report into the energy-delay space the
@@ -29,13 +30,13 @@ func EDSpace(rep *core.Report) []EDPoint {
 	for _, proj := range rep.PerVF {
 		p := EDPoint{VF: proj.VF, PowerW: proj.ChipW}
 		if proj.TotalIPS > 0 {
-			p.JPerInst = proj.ChipW / proj.TotalIPS
-			p.SPerInst = 1 / proj.TotalIPS
-			p.EDP = p.JPerInst * p.SPerInst
+			p.JPerInst = proj.ChipW.PerRate(proj.TotalIPS)
+			p.SPerInst = proj.TotalIPS.Invert()
+			p.EDP = p.JPerInst.TimesDelay(p.SPerInst)
 		} else {
-			p.JPerInst = math.Inf(1)
-			p.SPerInst = math.Inf(1)
-			p.EDP = math.Inf(1)
+			p.JPerInst = units.JoulesPerInst(math.Inf(1))
+			p.SPerInst = units.SecondsPerInst(math.Inf(1))
+			p.EDP = units.EDP(math.Inf(1))
 		}
 		out = append(out, p)
 	}
@@ -45,13 +46,13 @@ func EDSpace(rep *core.Report) []EDPoint {
 // EnergyOptimal returns the state minimizing predicted energy per
 // instruction.
 func EnergyOptimal(rep *core.Report) arch.VFState {
-	return argmin(EDSpace(rep), func(p EDPoint) float64 { return p.JPerInst })
+	return argmin(EDSpace(rep), func(p EDPoint) float64 { return float64(p.JPerInst) })
 }
 
 // EDPOptimal returns the state minimizing the predicted energy-delay
 // product.
 func EDPOptimal(rep *core.Report) arch.VFState {
-	return argmin(EDSpace(rep), func(p EDPoint) float64 { return p.EDP })
+	return argmin(EDSpace(rep), func(p EDPoint) float64 { return float64(p.EDP) })
 }
 
 func argmin(pts []EDPoint, key func(EDPoint) float64) arch.VFState {
@@ -69,13 +70,13 @@ func argmin(pts []EDPoint, key func(EDPoint) float64) arch.VFState {
 // hypothetical low NB state.
 type NBAssumptions struct {
 	// IdleDropFrac is the NB idle power reduction at NB-low (paper: 0.40).
-	IdleDropFrac float64
+	IdleDropFrac float64 //ppep:allow unitcheck dimensionless reduction fraction
 	// DynDropFrac is the NB dynamic energy-per-operation reduction
 	// (paper: 0.36, the V² factor of a 20% voltage drop).
-	DynDropFrac float64
+	DynDropFrac float64 //ppep:allow unitcheck dimensionless reduction fraction
 	// LLInflate is the leading-load cycle inflation at NB-low
 	// (paper: 1.5).
-	LLInflate float64
+	LLInflate float64 //ppep:allow unitcheck dimensionless inflation factor
 }
 
 // PaperNBAssumptions returns the paper's exact Section V-C2 values.
@@ -88,9 +89,9 @@ func PaperNBAssumptions() NBAssumptions {
 type NBPoint struct {
 	CoreVF   arch.VFState
 	NBLow    bool
-	PowerW   float64
-	JPerInst float64
-	SPerInst float64
+	PowerW   units.Watts
+	JPerInst units.JoulesPerInst
+	SPerInst units.SecondsPerInst
 }
 
 // NBWhatIf evaluates the full (core VF × NB hi/lo) grid for one interval
@@ -105,10 +106,11 @@ func NBWhatIf(m *core.Models, iv trace.Interval, rep *core.Report, a NBAssumptio
 		// NB high: the measured configuration.
 		hi := NBPoint{CoreVF: proj.VF, PowerW: split.TotalW()}
 		if proj.TotalIPS > 0 {
-			hi.JPerInst = hi.PowerW / proj.TotalIPS
-			hi.SPerInst = 1 / proj.TotalIPS
+			hi.JPerInst = hi.PowerW.PerRate(proj.TotalIPS)
+			hi.SPerInst = proj.TotalIPS.Invert()
 		} else {
-			hi.JPerInst, hi.SPerInst = math.Inf(1), math.Inf(1)
+			hi.JPerInst = units.JoulesPerInst(math.Inf(1))
+			hi.SPerInst = units.SecondsPerInst(math.Inf(1))
 		}
 		out = append(out, hi)
 
@@ -116,20 +118,21 @@ func NBWhatIf(m *core.Models, iv trace.Interval, rep *core.Report, a NBAssumptio
 		ipsLo := ipsWithLLInflation(m, iv, proj.VF, a.LLInflate)
 		scaleIPS := 0.0
 		if proj.TotalIPS > 0 {
-			scaleIPS = ipsLo / proj.TotalIPS
+			scaleIPS = ipsLo.Per(proj.TotalIPS)
 		}
 		lo := NBPoint{CoreVF: proj.VF, NBLow: true}
 		// Dynamic power scales with throughput (same operations per
 		// instruction); NB dynamic is additionally cheaper per op.
-		coreDyn := split.CoreDynW * scaleIPS
-		nbDyn := split.NBDynW * scaleIPS * (1 - a.DynDropFrac)
-		nbIdle := split.NBIdleW * (1 - a.IdleDropFrac)
+		coreDyn := units.Watts(float64(split.CoreDynW) * scaleIPS)
+		nbDyn := units.Watts(float64(split.NBDynW) * scaleIPS * (1 - a.DynDropFrac))
+		nbIdle := units.Watts(float64(split.NBIdleW) * (1 - a.IdleDropFrac))
 		lo.PowerW = coreDyn + nbDyn + split.CoreIdleW + nbIdle + split.BaseW
 		if ipsLo > 0 {
-			lo.JPerInst = lo.PowerW / ipsLo
-			lo.SPerInst = 1 / ipsLo
+			lo.JPerInst = lo.PowerW.PerRate(ipsLo)
+			lo.SPerInst = ipsLo.Invert()
 		} else {
-			lo.JPerInst, lo.SPerInst = math.Inf(1), math.Inf(1)
+			lo.JPerInst = units.JoulesPerInst(math.Inf(1))
+			lo.SPerInst = units.SecondsPerInst(math.Inf(1))
 		}
 		out = append(out, lo)
 	}
@@ -138,7 +141,7 @@ func NBWhatIf(m *core.Models, iv trace.Interval, rep *core.Report, a NBAssumptio
 
 // ipsWithLLInflation recomputes the chip's predicted IPS at a core VF
 // state with leading-load (memory) cycles inflated by the given factor.
-func ipsWithLLInflation(m *core.Models, iv trace.Interval, s arch.VFState, inflate float64) float64 {
+func ipsWithLLInflation(m *core.Models, iv trace.Interval, s arch.VFState, inflate float64) units.InstPerSec {
 	fFrom := m.Table.Point(iv.VF()).Freq
 	fTo := m.Table.Point(s).Freq
 	var total float64
@@ -151,19 +154,22 @@ func ipsWithLLInflation(m *core.Models, iv trace.Interval, s arch.VFState, infla
 		cpi := rates.Get(arch.CPUClocksNotHalted) / inst
 		mcpi := rates.Get(arch.MABWaitCycles) / inst
 		ccpi := cpi - mcpi
-		cpiTo := ccpi + mcpi*(fTo/fFrom)*inflate
+		cpiTo := ccpi + mcpi*fTo.Per(fFrom)*inflate
 		if cpiTo > 0 {
-			total += fTo * 1e9 / cpiTo
+			total += float64(fTo) * 1e9 / cpiTo
 		}
 	}
-	return total
+	return units.InstPerSec(total)
 }
 
 // BestEnergySaving returns the energy saving of the NB-scaled best point
 // versus the NB-high best point (Figure 11a's per-mode metric): both
 // sides may choose their core VF freely; only the NB capability differs.
+//
+//ppep:allow unitcheck saving is a dimensionless fraction of baseline energy
 func BestEnergySaving(points []NBPoint) float64 {
-	bestHi, bestLo := math.Inf(1), math.Inf(1)
+	bestHi := units.JoulesPerInst(math.Inf(1))
+	bestLo := units.JoulesPerInst(math.Inf(1))
 	for _, p := range points {
 		if p.NBLow {
 			if p.JPerInst < bestLo {
@@ -178,16 +184,18 @@ func BestEnergySaving(points []NBPoint) float64 {
 	if bestLo > bestHi {
 		bestLo = bestHi // scaling is optional; never forced to be worse
 	}
-	if bestHi <= 0 || math.IsInf(bestHi, 1) {
+	if bestHi <= 0 || math.IsInf(float64(bestHi), 1) {
 		return 0
 	}
-	return 1 - bestLo/bestHi
+	return 1 - bestLo.Per(bestHi)
 }
 
 // BestSpeedupAtEnergy returns the speedup achievable with NB scaling at
 // similar energy (Figure 11b): the baseline is core-VF1 with NB high; the
 // candidate is the fastest point (any NB state) whose energy does not
 // exceed the baseline's by more than slack (e.g. 0.05 = 5%).
+//
+//ppep:allow unitcheck slack and speedup are dimensionless ratios
 func BestSpeedupAtEnergy(points []NBPoint, slack float64) float64 {
 	var base *NBPoint
 	for i := range points {
@@ -197,13 +205,13 @@ func BestSpeedupAtEnergy(points []NBPoint, slack float64) float64 {
 			break
 		}
 	}
-	if base == nil || math.IsInf(base.SPerInst, 1) {
+	if base == nil || math.IsInf(float64(base.SPerInst), 1) {
 		return 1
 	}
 	best := 1.0
 	for _, p := range points {
-		if p.JPerInst <= base.JPerInst*(1+slack) && p.SPerInst > 0 {
-			if sp := base.SPerInst / p.SPerInst; sp > best {
+		if float64(p.JPerInst) <= float64(base.JPerInst)*(1+slack) && p.SPerInst > 0 {
+			if sp := base.SPerInst.Per(p.SPerInst); sp > best {
 				best = sp
 			}
 		}

@@ -5,14 +5,15 @@ import (
 	"ppep/internal/core"
 	"ppep/internal/fxsim"
 	"ppep/internal/trace"
+	"ppep/internal/units"
 )
 
 // GovStep records one interval of a governor run for later analysis.
 type GovStep struct {
-	TimeS        float64
+	TimeS        units.Seconds
 	VF           arch.VFState
-	MeasW        float64
-	Instructions float64
+	MeasW        units.Watts
+	Instructions float64 //ppep:allow unitcheck instruction counts are dimensionless
 }
 
 // recorder is the shared bookkeeping of the governors below.
@@ -22,23 +23,25 @@ type recorder struct {
 
 func (r *recorder) record(chip *fxsim.Chip, iv trace.Interval) {
 	r.History = append(r.History, GovStep{
-		TimeS:        iv.TimeS,
+		TimeS:        units.Seconds(iv.TimeS),
 		VF:           iv.VF(),
-		MeasW:        iv.MeasPowerW,
+		MeasW:        units.Watts(iv.MeasPowerW),
 		Instructions: iv.Instructions(),
 	})
 }
 
 // EnergyJ integrates measured energy over a history.
-func EnergyJ(hist []GovStep, intervalS float64) float64 {
-	var e float64
+func EnergyJ(hist []GovStep, intervalS units.Seconds) units.Joules {
+	var e units.Joules
 	for _, st := range hist {
-		e += st.MeasW * intervalS
+		e += st.MeasW.Over(intervalS)
 	}
 	return e
 }
 
 // Instructions sums retired instructions over a history.
+//
+//ppep:allow unitcheck instruction counts are dimensionless
 func Instructions(hist []GovStep) float64 {
 	var n float64
 	for _, st := range hist {
@@ -69,7 +72,7 @@ func (g *StaticGovernor) Decide(chip *fxsim.Chip, iv trace.Interval) {
 type OnDemandGovernor struct {
 	// UpThreshold and DownThreshold bound the utilization band
 	// (defaults 0.80 / 0.30 when zero).
-	UpThreshold, DownThreshold float64
+	UpThreshold, DownThreshold float64 //ppep:allow unitcheck dimensionless utilization thresholds
 	recorder
 }
 
@@ -90,7 +93,7 @@ func (g *OnDemandGovernor) Decide(chip *fxsim.Chip, iv trace.Interval) {
 		if f <= 0 || iv.DurS <= 0 {
 			continue
 		}
-		u := iv.Counters[c].Get(arch.CPUClocksNotHalted) / (f * 1e9 * iv.DurS)
+		u := iv.Counters[c].Get(arch.CPUClocksNotHalted) / (f.CyclesPerSec() * iv.DurS)
 		if u > util {
 			util = u
 		}

@@ -103,8 +103,8 @@ func TestPPEPGovernorsSteer(t *testing.T) {
 	}
 	// The energy governor must spend less energy per instruction than
 	// the EDP governor; the EDP governor must retire instructions faster.
-	eJPI := EnergyJ(eg.History, 0.2) / Instructions(eg.History)
-	pJPI := EnergyJ(pg.History, 0.2) / Instructions(pg.History)
+	eJPI := float64(EnergyJ(eg.History, 0.2)) / Instructions(eg.History)
+	pJPI := float64(EnergyJ(pg.History, 0.2)) / Instructions(pg.History)
 	if eJPI >= pJPI {
 		t.Errorf("energy governor %.3g J/inst not below EDP governor %.3g", eJPI, pJPI)
 	}

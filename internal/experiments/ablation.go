@@ -10,6 +10,7 @@ import (
 	"ppep/internal/fxsim"
 	"ppep/internal/stats"
 	"ppep/internal/trace"
+	"ppep/internal/units"
 	"ppep/internal/workload"
 )
 
@@ -40,10 +41,10 @@ func (c *Campaign) AblationAlpha() (*Result, error) {
 				continue
 			}
 			for _, iv := range core.SteadyIntervals(rt.Trace) {
-				idleEst := c.Models.Idle.Estimate(v, iv.TempK)
+				idleEst := c.Models.Idle.Estimate(v, units.Kelvin(iv.TempK))
 				rates := iv.TotalRates().PowerEvents()
-				fitErrs = append(fitErrs, stats.AbsPctErr(idleEst+fitted.EstimateRates(rates, v), iv.MeasPowerW))
-				fixErrs = append(fixErrs, stats.AbsPctErr(idleEst+fixed.EstimateRates(rates, v), iv.MeasPowerW))
+				fitErrs = append(fitErrs, stats.AbsPctErr(float64(idleEst+fitted.EstimateRates(rates, v)), iv.MeasPowerW))
+				fixErrs = append(fixErrs, stats.AbsPctErr(float64(idleEst+fixed.EstimateRates(rates, v)), iv.MeasPowerW))
 			}
 		}
 		if len(fitErrs) == 0 {
@@ -94,17 +95,17 @@ func (c *Campaign) AblationNoNBEvents() (*Result, error) {
 		for _, rt := range c.Runs {
 			v := c.Table.Point(rt.VF).Voltage
 			for _, iv := range core.SteadyIntervals(rt.Trace) {
-				idleEst := c.Models.Idle.Estimate(v, iv.TempK)
-				measDyn := iv.MeasPowerW - idleEst
+				idleEst := c.Models.Idle.Estimate(v, units.Kelvin(iv.TempK))
+				measDyn := iv.MeasPowerW - float64(idleEst)
 				rates := iv.TotalRates().PowerEvents()
 				if blind {
 					rates[7], rates[8] = 0, 0
 				}
 				est := m.EstimateRates(rates, v)
 				if measDyn > 0.5 {
-					dErrs = append(dErrs, stats.AbsPctErr(est, measDyn))
+					dErrs = append(dErrs, stats.AbsPctErr(float64(est), measDyn))
 				}
-				cErrs = append(cErrs, stats.AbsPctErr(idleEst+est, iv.MeasPowerW))
+				cErrs = append(cErrs, stats.AbsPctErr(float64(idleEst+est), iv.MeasPowerW))
 			}
 		}
 		return stats.Mean(dErrs), stats.Mean(cErrs)
@@ -224,7 +225,7 @@ func (c *Campaign) ablationErrors(run workload.Run, mut func(*fxsim.Config)) ([]
 		if err != nil {
 			return nil, err
 		}
-		errs = append(errs, stats.AbsPctErr(est, iv.TruePowerW/vrm))
+		errs = append(errs, stats.AbsPctErr(float64(est), iv.TruePowerW/vrm))
 	}
 	if len(errs) == 0 {
 		return nil, fmt.Errorf("experiments: ablation run %s produced no intervals", run.Name)
@@ -284,7 +285,7 @@ func (c *Campaign) EventCorrelation() (*Result, error) {
 			continue
 		}
 		for _, iv := range core.SteadyIntervals(rt.Trace) {
-			measDyn := iv.MeasPowerW - c.Models.Idle.Estimate(v, iv.TempK)
+			measDyn := iv.MeasPowerW - float64(c.Models.Idle.Estimate(v, units.Kelvin(iv.TempK)))
 			if measDyn <= 0.5 {
 				continue
 			}
@@ -403,8 +404,8 @@ func (c *Campaign) AblationThermalFeedback() (*Result, error) {
 				if err != nil {
 					continue
 				}
-				pSum += pr.At(to).ChipW
-				fSum += fr.At(to).ChipW
+				pSum += float64(pr.At(to).ChipW)
+				fSum += float64(fr.At(to).ChipW)
 				n++
 			}
 			if n == 0 {
@@ -426,7 +427,7 @@ func (c *Campaign) AblationThermalFeedback() (*Result, error) {
 	res.AddRow("VF5→far (VF2/VF1)", pct(stats.Mean(far.plain)), pct(stats.Mean(far.fb)))
 	res.Metric("far_plain_aae", stats.Mean(far.plain))
 	res.Metric("far_fb_aae", stats.Mean(far.fb))
-	res.Metric("rth", c.Models.Thermal.RthKPerW)
+	res.Metric("rth", float64(c.Models.Thermal.RthKPerW))
 	res.Notes = append(res.Notes,
 		"the paper predicts with the current temperature; the feedback line T ≈ Ambient + Rth·P is fitted from the campaign itself")
 	return res, nil

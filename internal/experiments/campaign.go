@@ -17,6 +17,7 @@ import (
 	"ppep/internal/core/pgidle"
 	"ppep/internal/fxsim"
 	"ppep/internal/trace"
+	"ppep/internal/units"
 	"ppep/internal/workload"
 )
 
@@ -345,10 +346,12 @@ func pgSweepAll(states []arch.VFState, workers int) (map[arch.VFState]pgidle.Swe
 			}
 		}
 	}
-	powers := make([]float64, len(cells))
+	powers := make([]units.Watts, len(cells))
 	errs := make([]error, len(cells))
 	forEachJob(len(cells), workers, func(i int) {
-		powers[i], errs[i] = pgCell(cells[i].vf, cells[i].pg, cells[i].busy)
+		var w float64
+		w, errs[i] = pgCell(cells[i].vf, cells[i].pg, cells[i].busy)
+		powers[i] = units.Watts(w)
 	})
 	out := make(map[arch.VFState]pgidle.Sweep, len(states))
 	for i, cl := range cells {
@@ -380,9 +383,9 @@ func (c *Campaign) train() error {
 	c.Models = m
 
 	// Green Governors static table: mean idle power per VF state.
-	static := map[arch.VFState]float64{}
+	static := map[arch.VFState]units.Watts{}
 	for vf, tr := range c.Idle {
-		static[vf] = tr.AvgMeasPowerW()
+		static[vf] = units.Watts(tr.AvgMeasPowerW())
 	}
 	var traces []*trace.Trace
 	for _, rt := range c.Runs {

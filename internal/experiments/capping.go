@@ -6,6 +6,7 @@ import (
 	"ppep/internal/arch"
 	"ppep/internal/dvfs"
 	"ppep/internal/fxsim"
+	"ppep/internal/units"
 	"ppep/internal/workload"
 )
 
@@ -18,8 +19,8 @@ func (c *Campaign) Fig7() (*Result, error) {
 		return nil, fmt.Errorf("experiments: campaign has no trained models")
 	}
 	schedule := dvfs.StepSchedule(
-		[]float64{0, 20, 40},
-		[]float64{130, 48, 105},
+		[]units.Seconds{0, 20, 40},
+		[]units.Watts{130, 48, 105},
 	)
 	const runS = 60
 
@@ -53,15 +54,15 @@ func (c *Campaign) Fig7() (*Result, error) {
 		Title:  "One-step power capping vs iterative policy",
 		Header: []string{"policy", "settle (s)", "adherence", "violations"},
 	}
-	res.AddRow("PPEP one-step", f2(pm.MeanSettleS), pct(pm.Adherence), fmt.Sprint(pm.Violations))
-	res.AddRow("iterative", f2(im.MeanSettleS), pct(im.Adherence), fmt.Sprint(im.Violations))
+	res.AddRow("PPEP one-step", f2(float64(pm.MeanSettleS)), pct(pm.Adherence), fmt.Sprint(pm.Violations))
+	res.AddRow("iterative", f2(float64(im.MeanSettleS)), pct(im.Adherence), fmt.Sprint(im.Violations))
 	speed := 0.0
 	if pm.MeanSettleS > 0 {
-		speed = im.MeanSettleS / pm.MeanSettleS
+		speed = im.MeanSettleS.Per(pm.MeanSettleS)
 	}
 	res.AddRow("speedup", fmt.Sprintf("%.1f×", speed), "", "")
-	res.Metric("ppep_settle_s", pm.MeanSettleS)
-	res.Metric("iter_settle_s", im.MeanSettleS)
+	res.Metric("ppep_settle_s", float64(pm.MeanSettleS))
+	res.Metric("iter_settle_s", float64(im.MeanSettleS))
 	res.Metric("ppep_adherence", pm.Adherence)
 	res.Metric("iter_adherence", im.Adherence)
 	res.Metric("speedup", speed)

@@ -9,6 +9,7 @@ import (
 	"ppep/internal/core/eventpred"
 	"ppep/internal/stats"
 	"ppep/internal/trace"
+	"ppep/internal/units"
 )
 
 // CPIAccuracy reproduces the Section III evaluation: the LL-MAB CPI
@@ -102,11 +103,11 @@ func (c *Campaign) Observations() (*Result, error) {
 		}
 		for i := 0; i < 8; i++ {
 			if hiPI[i] > 0 {
-				evDiffs[i] = append(evDiffs[i], math.Abs(loPI[i]-hiPI[i])/hiPI[i])
+				evDiffs[i] = append(evDiffs[i], math.Abs(float64(loPI[i]-hiPI[i]))/float64(hiPI[i]))
 			}
 		}
 		if hiGap > 0 {
-			gapDiffs = append(gapDiffs, math.Abs(loGap-hiGap)/hiGap)
+			gapDiffs = append(gapDiffs, math.Abs(float64(loGap-hiGap))/float64(hiGap))
 		}
 	}
 	if len(gapDiffs) == 0 {
@@ -124,7 +125,7 @@ func (c *Campaign) Observations() (*Result, error) {
 
 // runFingerprint computes a run's average per-instruction E1–E8 rates and
 // the Observation 2 gap, weighted by instructions.
-func runFingerprint(tr *trace.Trace) ([8]float64, float64, bool) {
+func runFingerprint(tr *trace.Trace) ([8]units.EventsPerInst, units.CPI, bool) {
 	var sums arch.EventVec
 	for _, iv := range tr.Intervals {
 		for _, ev := range iv.Counters {

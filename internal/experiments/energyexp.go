@@ -8,6 +8,7 @@ import (
 	"ppep/internal/core/energy"
 	"ppep/internal/stats"
 	"ppep/internal/trace"
+	"ppep/internal/units"
 )
 
 // Fig6 reproduces Figure 6: next-interval chip energy prediction error at
@@ -40,7 +41,7 @@ func (c *Campaign) Fig6() (*Result, error) {
 			if !fm.testNames[rt.Name] || rt.Suite != "SPE" {
 				continue
 			}
-			ppepEst := func(iv trace.Interval) float64 {
+			ppepEst := func(iv trace.Interval) units.Watts {
 				w, err := models.EstimateChipW(iv)
 				if err != nil {
 					return 0
@@ -59,7 +60,7 @@ func (c *Campaign) Fig6() (*Result, error) {
 			ppepAll = append(ppepAll, aae)
 			var ggAAE float64
 			if c.GG != nil {
-				ggEst := func(iv trace.Interval) float64 { return c.GG.EstimateChipW(iv, c.Table) }
+				ggEst := func(iv trace.Interval) units.Watts { return c.GG.EstimateChipW(iv, c.Table) }
 				ggErrs := energy.NextIntervalErrors(rt.Trace, ggEst)
 				ggAAE = stats.Mean(ggErrs)
 				ggAll = append(ggAll, ggAAE)

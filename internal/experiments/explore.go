@@ -104,10 +104,10 @@ func (c *Campaign) explorePPE(tr *trace.Trace) (threadPPE, error) {
 				if inst <= 0 || proj.PerCoreCPI[ci] <= 0 {
 					continue
 				}
-				ips := fTo * 1e9 / proj.PerCoreCPI[ci]
+				ips := float64(fTo) * 1e9 / float64(proj.PerCoreCPI[ci])
 				timeAtS := inst / ips
 				idleShare := d.PerCoreIdleW(true, topo.NumCUs, busyPerCU[topo.CUOf(ci)], busyInChip)
-				out.EnergyJ[s] += (proj.PerCoreDynW[ci] + idleShare) * timeAtS
+				out.EnergyJ[s] += float64(proj.PerCoreDynW[ci]+idleShare) * timeAtS
 				out.DelayS[s] += timeAtS
 			}
 		}
@@ -232,7 +232,7 @@ func (c *Campaign) Fig10() (*Result, error) {
 				// execution stretches while NB power holds.
 				nbShare := 0.0
 				if t := split.TotalW(); t > 0 {
-					nbShare = split.NBW() / t
+					nbShare = split.NBW().Per(t)
 				}
 				res.AddRow(name, s.String(), pct(nbShare))
 				perBench[num] = append(perBench[num], nbShare)

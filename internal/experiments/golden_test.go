@@ -40,10 +40,10 @@ func campaignFingerprint(c *Campaign) uint64 {
 	for _, vf := range c.Table.States() {
 		s := c.PGSweeps[vf]
 		for _, w := range s.PGOff {
-			mixF(w)
+			mixF(float64(w))
 		}
 		for _, w := range s.PGOn {
-			mixF(w)
+			mixF(float64(w))
 		}
 	}
 	return h

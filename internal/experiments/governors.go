@@ -73,9 +73,9 @@ func (c *Campaign) GovernorComparison() (*Result, error) {
 		inst := dvfs.Instructions(*hist)
 		jpi := 0.0
 		if inst > 0 {
-			jpi = energy / inst * 1e9
+			jpi = float64(energy) / inst * 1e9
 		}
-		res.AddRow(e.name, f2(energy), f2(inst/1e9), f2(jpi))
+		res.AddRow(e.name, f2(float64(energy)), f2(inst/1e9), f2(jpi))
 		key := e.name
 		res.Metric("jpi_"+key, jpi)
 		res.Metric("ginst_"+key, inst/1e9)

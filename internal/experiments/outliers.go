@@ -7,6 +7,7 @@ import (
 	"ppep/internal/core"
 	"ppep/internal/stats"
 	"ppep/internal/trace"
+	"ppep/internal/units"
 )
 
 // Outliers reproduces the paper's outlier analysis (Section IV-B2: "we do
@@ -35,13 +36,13 @@ func (c *Campaign) Outliers() (*Result, error) {
 			var errs []float64
 			v := c.Table.Point(rt.VF).Voltage
 			for _, iv := range core.SteadyIntervals(rt.Trace) {
-				idleEst := fm.models.Idle.Estimate(v, iv.TempK)
-				measDyn := iv.MeasPowerW - idleEst
+				idleEst := fm.models.Idle.Estimate(v, units.Kelvin(iv.TempK))
+				measDyn := iv.MeasPowerW - float64(idleEst)
 				if measDyn <= 0.5 {
 					continue
 				}
 				estDyn := fm.models.Dyn.EstimateRates(iv.TotalRates().PowerEvents(), v)
-				errs = append(errs, stats.AbsPctErr(estDyn, measDyn))
+				errs = append(errs, stats.AbsPctErr(float64(estDyn), measDyn))
 			}
 			if len(errs) == 0 {
 				continue

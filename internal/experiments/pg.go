@@ -26,7 +26,7 @@ func (c *Campaign) Fig4() (*Result, error) {
 			continue
 		}
 		for k := range sweep.PGOff {
-			res.AddRow(vf.String(), fmt.Sprint(k), f2(sweep.PGOff[k]), f2(sweep.PGOn[k]))
+			res.AddRow(vf.String(), fmt.Sprint(k), f2(float64(sweep.PGOff[k])), f2(float64(sweep.PGOn[k])))
 		}
 		d, err := pgidle.Decompose(sweep)
 		if err != nil {
@@ -35,9 +35,9 @@ func (c *Campaign) Fig4() (*Result, error) {
 		res.AddRow(vf.String(), "→ decomposition",
 			fmt.Sprintf("Pidle(CU)=%.2fW Pidle(NB)=%.2fW", d.PidleCU, d.PidleNB),
 			fmt.Sprintf("Pidle(Base)=%.2fW", d.PidleBase))
-		res.Metric("pidle_cu_"+vf.String(), d.PidleCU)
-		res.Metric("pidle_nb_"+vf.String(), d.PidleNB)
-		res.Metric("pidle_base_"+vf.String(), d.PidleBase)
+		res.Metric("pidle_cu_"+vf.String(), float64(d.PidleCU))
+		res.Metric("pidle_nb_"+vf.String(), float64(d.PidleNB))
+		res.Metric("pidle_base_"+vf.String(), float64(d.PidleBase))
 	}
 	res.Notes = append(res.Notes,
 		"paper: gaps at k busy CUs equal (4−k)·Pidle(CU); the idle gap adds Pidle(NB); Pidle(Base) is VF-independent")

@@ -10,6 +10,7 @@ import (
 	"ppep/internal/core/idlepower"
 	"ppep/internal/stats"
 	"ppep/internal/trace"
+	"ppep/internal/units"
 )
 
 // foldModels is one cross-validation fold's trained model set plus its
@@ -90,14 +91,14 @@ func (c *Campaign) Fig2() (*Result, *Result, error) {
 			var dErrs, cErrs []float64
 			v := c.Table.Point(rt.VF).Voltage
 			for _, iv := range core.SteadyIntervals(rt.Trace) {
-				idleEst := fm.models.Idle.Estimate(v, iv.TempK)
-				measDyn := iv.MeasPowerW - idleEst
+				idleEst := fm.models.Idle.Estimate(v, units.Kelvin(iv.TempK))
+				measDyn := iv.MeasPowerW - float64(idleEst)
 				rates := iv.TotalRates()
 				estDyn := fm.models.Dyn.EstimateRates(rates.PowerEvents(), v)
 				if measDyn > 0.5 { // skip idle-dominated slivers
-					dErrs = append(dErrs, stats.AbsPctErr(estDyn, measDyn))
+					dErrs = append(dErrs, stats.AbsPctErr(float64(estDyn), measDyn))
 				}
-				cErrs = append(cErrs, stats.AbsPctErr(idleEst+estDyn, iv.MeasPowerW))
+				cErrs = append(cErrs, stats.AbsPctErr(float64(idleEst+estDyn), iv.MeasPowerW))
 			}
 			if len(dErrs) > 0 {
 				aae := stats.Mean(dErrs)
@@ -191,8 +192,8 @@ func (c *Campaign) Fig3() (*Result, *Result, error) {
 					}
 					for _, to := range c.Table.States() {
 						proj := rep.At(to)
-						predChip[to].Add(proj.ChipW)
-						predDyn[to].Add(proj.DynW)
+						predChip[to].Add(float64(proj.ChipW))
+						predDyn[to].Add(float64(proj.DynW))
 					}
 				}
 				for _, to := range c.Table.States() {
@@ -249,7 +250,7 @@ func measDynAvg(m *core.Models, tr *trace.Trace, tbl arch.VFTable) float64 {
 	var r stats.Running
 	for _, iv := range core.SteadyIntervals(tr) {
 		v := tbl.Point(iv.VF()).Voltage
-		r.Add(iv.MeasPowerW - m.Idle.Estimate(v, iv.TempK))
+		r.Add(iv.MeasPowerW - float64(m.Idle.Estimate(v, units.Kelvin(iv.TempK))))
 	}
 	return r.Mean()
 }

@@ -18,6 +18,7 @@ import (
 	"ppep/internal/thermal"
 	"ppep/internal/trace"
 	"ppep/internal/uarch"
+	"ppep/internal/units"
 	"ppep/internal/workload"
 )
 
@@ -50,7 +51,7 @@ type Config struct {
 	// BoostMaxBusyCUs is the busy-CU ceiling for boosting (default 2).
 	BoostMaxBusyCUs int
 	// BoostTempMaxK is the thermal ceiling for boosting (default 331 K).
-	BoostTempMaxK float64
+	BoostTempMaxK units.Kelvin
 	// SensorSeed seeds the power sensor's noise.
 	SensorSeed int64
 	// IdealSensor replaces the noisy sensor with a perfect one.
@@ -111,7 +112,7 @@ type Chip struct {
 	trueSum     float64
 	trueCoreSum float64
 	trueNBSum   float64
-	coreDynSum  []float64
+	coreDynSum  []units.Watts
 	tickCount   int
 	intervalVF  []arch.VFState // reused buffer; ReadInterval copies it out
 
@@ -121,18 +122,18 @@ type Chip struct {
 	// refreshed by SetPState/SetNBPoint. Every cached value is exactly
 	// what the uncached path recomputed per tick, so a fixed SensorSeed
 	// still produces bit-identical interval sequences (golden_test.go).
-	fTopGHz     float64        // top-state core frequency
-	cuBusyCores []int          // busy cores per CU
-	busyCUs     int            // CUs with ≥1 busy core
-	topBusyCUs  int            // busy CUs sitting at the top P-state
-	cuPoints    []arch.VFPoint // per-CU VF point (P-state table lookup)
-	sharedV     float64        // shared-rail voltage (highest requested state)
+	fTopGHz     units.GigaHertz // top-state core frequency
+	cuBusyCores []int           // busy cores per CU
+	busyCUs     int             // CUs with ≥1 busy core
+	topBusyCUs  int             // busy CUs sitting at the top P-state
+	cuPoints    []arch.VFPoint  // per-CU VF point (P-state table lookup)
+	sharedV     units.Volts     // shared-rail voltage (highest requested state)
 	nbLat       mem.LatencyParams
 	nbDyn       powertruth.NBDynCoeffs
-	nbLeakVolt  float64     // NB leakage voltage factor
-	cuOp        []cuOpCache // per-CU operating-point coefficient memo
-	scratchDyn  []float64   // Breakdown.CoreDynW backing store
-	scratchLeak []float64   // Breakdown.CULeakW backing store
+	nbLeakVolt  float64       // NB leakage voltage factor
+	cuOp        []cuOpCache   // per-CU operating-point coefficient memo
+	scratchDyn  []units.Watts // Breakdown.CoreDynW backing store
+	scratchLeak []units.Watts // Breakdown.CULeakW backing store
 }
 
 // cuOpCache memoises the power-model coefficients for one CU's current
@@ -140,7 +141,8 @@ type Chip struct {
 // tick to the next, so the memo is keyed by value rather than invalidated
 // explicitly.
 type cuOpCache struct {
-	v, f     float64
+	v        units.Volts
+	f        units.GigaHertz
 	dyn      powertruth.CoreDynCoeffs
 	leakVolt float64
 	ok       bool
@@ -157,15 +159,15 @@ func New(cfg Config) *Chip {
 		cfg:         cfg,
 		cores:       make([]coreSlot, cfg.Topology.NumCores()),
 		pstates:     make([]arch.VFState, cfg.Topology.NumCUs),
-		nbPoint:     arch.VFPoint{Voltage: cfg.NB.VoltageV, Freq: cfg.NB.FreqGHz},
+		nbPoint:     arch.VFPoint{Voltage: units.Volts(cfg.NB.VoltageV), Freq: units.GigaHertz(cfg.NB.FreqGHz)},
 		therm:       thermal.DefaultFX8320(),
-		coreDynSum:  make([]float64, cfg.Topology.NumCores()),
+		coreDynSum:  make([]units.Watts, cfg.Topology.NumCores()),
 		intervalVF:  make([]arch.VFState, cfg.Topology.NumCores()),
 		cuBusyCores: make([]int, cfg.Topology.NumCUs),
 		cuPoints:    make([]arch.VFPoint, cfg.Topology.NumCUs),
 		cuOp:        make([]cuOpCache, cfg.Topology.NumCUs),
-		scratchDyn:  make([]float64, cfg.Topology.NumCores()),
-		scratchLeak: make([]float64, cfg.Topology.NumCUs),
+		scratchDyn:  make([]units.Watts, cfg.Topology.NumCores()),
+		scratchLeak: make([]units.Watts, cfg.Topology.NumCUs),
 	}
 	if cfg.IdealSensor {
 		c.sensor = sensor.Ideal()
@@ -208,12 +210,12 @@ func (c *Chip) TimeS() float64 { return c.timeS }
 
 // TempK returns the thermal diode reading (millikelvin quantization, as
 // the hwmon sysfs path reports).
-func (c *Chip) TempK() float64 {
-	return float64(int64(c.therm.TempK()*1000)) / 1000
+func (c *Chip) TempK() units.Kelvin {
+	return units.Kelvin(float64(int64(c.therm.TempK()*1000)) / 1000)
 }
 
 // SetTempK forces the package temperature (experiment setup).
-func (c *Chip) SetTempK(t float64) { c.therm.SetTempK(t) }
+func (c *Chip) SetTempK(t units.Kelvin) { c.therm.SetTempK(t) }
 
 // Thermal returns the thermal model (used by heat/cool experiments).
 func (c *Chip) Thermal() *thermal.Model { return c.therm }
@@ -298,15 +300,15 @@ func (c *Chip) PState(cu int) arch.VFState { return c.pstates[cu] }
 // Config the caller built the chip from.
 func (c *Chip) SetNBPoint(p arch.VFPoint) {
 	c.nbPoint = p
-	c.cfg.NB.FreqGHz = p.Freq
-	c.cfg.NB.VoltageV = p.Voltage
+	c.cfg.NB.FreqGHz = float64(p.Freq)
+	c.cfg.NB.VoltageV = float64(p.Voltage)
 	c.refreshNBCaches()
 }
 
 // railVoltage returns the voltage a CU runs at: its own point with per-CU
 // planes, otherwise the shared rail at the highest requested state.
 // A boosting CU pulls the rail to the boost voltage.
-func (c *Chip) railVoltage(cu int) float64 {
+func (c *Chip) railVoltage(cu int) units.Volts {
 	if c.cfg.PerCUPlanes {
 		if c.boosting(cu) {
 			return c.boostPoint().Voltage
@@ -323,7 +325,7 @@ func (c *Chip) railVoltage(cu int) float64 {
 }
 
 // cuFreq returns a CU's clock in GHz, including any active boost.
-func (c *Chip) cuFreq(cu int) float64 {
+func (c *Chip) cuFreq(cu int) units.GigaHertz {
 	if c.boosting(cu) {
 		return c.boostPoint().Freq
 	}
@@ -339,7 +341,7 @@ func (c *Chip) boostPoint() arch.VFPoint {
 }
 
 // boostLimits returns the effective boost ceilings (defaults applied).
-func (c *Chip) boostLimits() (maxBusy int, tMaxK float64) {
+func (c *Chip) boostLimits() (maxBusy int, tMaxK units.Kelvin) {
 	maxBusy = c.cfg.BoostMaxBusyCUs
 	if maxBusy == 0 {
 		maxBusy = 2
@@ -390,7 +392,7 @@ func (c *Chip) Bind(core int, b *workload.Benchmark, restart bool) error {
 	if c.cores[core].thread != nil {
 		return fmt.Errorf("fxsim: core %d already busy", core)
 	}
-	c.cores[core].thread = uarch.NewCore(b, c.fTopGHz)
+	c.cores[core].thread = uarch.NewCore(b, float64(c.fTopGHz))
 	c.cores[core].bench = b
 	c.cores[core].restart = restart
 	c.markBusy(core)
@@ -459,7 +461,7 @@ func (c *Chip) snapshotVF() {
 // (P-state change, rail change, or boost entry/exit). The memo is keyed
 // by value because boost can flip a CU's point between consecutive ticks
 // without any Set* call.
-func (c *Chip) cuCoeffs(cu int, v, f float64) *cuOpCache {
+func (c *Chip) cuCoeffs(cu int, v units.Volts, f units.GigaHertz) *cuOpCache {
 	m := &c.cuOp[cu]
 	if !m.ok || m.v != v || m.f != f {
 		m.v, m.f = v, f
@@ -508,7 +510,7 @@ func (c *Chip) tick() {
 	}
 
 	anyAwake := !c.nbGated()
-	maxFreq := 0.0
+	maxFreq := units.GigaHertz(0)
 
 	for i := range c.cores {
 		cu := c.cfg.Topology.CUOf(i)
@@ -524,7 +526,7 @@ func (c *Chip) tick() {
 			if c.siblingBusy(i) {
 				coreLat.L2ContentionCycles = mem.L2SiblingPenaltyCycles
 			}
-			r := slot.thread.Step(f, TickS, coreLat)
+			r := slot.thread.Step(float64(f), TickS, coreLat)
 			slot.mux.Accumulate(r.Events, TickS*1000)
 			if slot.counters != nil {
 				slot.counters.Accumulate(r.Events)
@@ -539,7 +541,7 @@ func (c *Chip) tick() {
 			}
 			if r.Finished {
 				if slot.restart {
-					slot.thread = uarch.NewCore(slot.bench, c.fTopGHz) //ppep:allow hotpath restart path runs once per thread completion, not per tick
+					slot.thread = uarch.NewCore(slot.bench, float64(c.fTopGHz)) //ppep:allow hotpath restart path runs once per thread completion, not per tick
 				} else {
 					// Later cores this same tick must observe the finished
 					// thread as idle (sibling/boost/gating checks), exactly
@@ -590,9 +592,9 @@ func (c *Chip) tick() {
 	c.lastUtil = 0.6*c.lastUtil + 0.4*c.cfg.NB.Utilization(nbAct.DRAMPS)
 
 	// Interval accumulation.
-	c.trueSum += totalW
-	c.trueCoreSum += breakdown.CoreTotalW()
-	c.trueNBSum += breakdown.NBTotalW()
+	c.trueSum += float64(totalW)
+	c.trueCoreSum += float64(breakdown.CoreTotalW())
+	c.trueNBSum += float64(breakdown.NBTotalW())
 	for i, w := range breakdown.CoreDynW {
 		c.coreDynSum[i] += w
 	}
@@ -600,7 +602,7 @@ func (c *Chip) tick() {
 	c.tickIdx++
 	c.timeS += TickS
 	if c.tickIdx%int64(arch.PowerSamplePeriodMS) == 0 {
-		c.sensorSum += c.sensor.Sample(totalW)
+		c.sensorSum += c.sensor.Sample(float64(totalW))
 		c.sensorN++
 	}
 }
@@ -639,7 +641,7 @@ func (c *Chip) ReadInterval() trace.Interval {
 	iv := trace.Interval{
 		TimeS: c.timeS,
 		DurS:  dur,
-		TempK: c.TempK(),
+		TempK: float64(c.TempK()),
 		// The chip reuses intervalVF across intervals; the handed-out
 		// record must own its snapshot.
 		PerCoreVF: append(make([]arch.VFState, 0, len(c.intervalVF)), c.intervalVF...),
@@ -660,7 +662,7 @@ func (c *Chip) ReadInterval() trace.Interval {
 		iv.TrueNBW = c.trueNBSum / n
 		iv.TrueCoreDynW = make([]float64, 0, len(c.coreDynSum))
 		for _, w := range c.coreDynSum {
-			iv.TrueCoreDynW = append(iv.TrueCoreDynW, w/n)
+			iv.TrueCoreDynW = append(iv.TrueCoreDynW, float64(w)/n)
 		}
 	}
 	c.sensorSum, c.sensorN = 0, 0

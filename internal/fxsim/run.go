@@ -5,6 +5,7 @@ import (
 
 	"ppep/internal/arch"
 	"ppep/internal/trace"
+	"ppep/internal/units"
 	"ppep/internal/workload"
 )
 
@@ -84,7 +85,7 @@ type RunOpts struct {
 	Placement Placement
 	// WarmTempK starts the package at the given temperature (0 = start
 	// from the thermal model's current state).
-	WarmTempK float64
+	WarmTempK units.Kelvin
 	// Controller, when non-nil, is consulted after every interval.
 	Controller Controller
 }

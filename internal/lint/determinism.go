@@ -9,8 +9,8 @@ import (
 // runDeterminism enforces reproducibility in the simulation packages
 // (cfg.DeterminismPkgs):
 //
-//   - no time.Now / time.Since — campaign results must not depend on the
-//     wall clock
+//   - no time.Now / time.Since / time.Until — campaign results must not
+//     depend on the wall clock
 //   - no package-level math/rand functions (rand.Float64, rand.Intn,
 //     rand.Shuffle, ...): randomness must flow through a seeded
 //     *rand.Rand so a fixed seed reproduces the run bit-for-bit
@@ -61,7 +61,7 @@ func (c *detChecker) inspect(n ast.Node) bool {
 		}
 		full := obj.FullName()
 		switch {
-		case full == "time.Now" || full == "time.Since":
+		case full == "time.Now" || full == "time.Since" || full == "time.Until":
 			c.m.emit(c.fs, "determinism", n.Pos(),
 				"%s makes simulation output depend on the wall clock; inject a deterministic clock", full)
 		case obj.Pkg().Path() == "math/rand" && !randConstructor[obj.Name()] && isPackageLevelRand(c.pkg.Info, n):

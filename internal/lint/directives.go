@@ -108,6 +108,7 @@ func (m *Module) allowedAt(analyzer string, pos token.Position) bool {
 		if a.analyzer == analyzer && pos.Line >= a.fromLine && pos.Line <= a.toLine {
 			a.used = true
 			m.suppressed++
+			m.suppressedBy[analyzer]++
 			return true
 		}
 	}

@@ -17,6 +17,10 @@
 //     package-level or shared captured state only under a lock.
 //   - errcheck: no silently dropped error returns; discarding via `_ =`
 //     requires an adjacent justification comment.
+//   - unitcheck: dimensional analysis over the internal/units types —
+//     exported model APIs must not traffic in bare float64, and
+//     cross-unit conversions or unit-annihilating float64 casts must go
+//     through named conversion helpers (docs/UNITS.md).
 //
 // Exceptions are declared in the source as
 //
@@ -57,6 +61,13 @@ type Config struct {
 	// dispatchers: the poolsafety analyzer checks the func literal
 	// passed as their last argument.
 	PoolFuncNames map[string]bool
+	// UnitsPkg is the import path of the physical-units package; empty
+	// disables the unitcheck analyzer.
+	UnitsPkg string
+	// UnitPkgs are the model packages whose exported API surfaces must
+	// not traffic in bare float64 (unitcheck's API rule). The
+	// conversion and arithmetic rules run module-wide regardless.
+	UnitPkgs map[string]bool
 }
 
 // DefaultConfig returns the analyzer scope for this repository: the
@@ -77,21 +88,39 @@ func DefaultConfig(modulePath string) Config {
 	} {
 		pkgs[path.Join(modulePath, p)] = true
 	}
+	unitPkgs := map[string]bool{}
+	for _, p := range []string{
+		"internal/thermal",
+		"internal/powertruth",
+		"internal/core",
+		"internal/core/cpimodel",
+		"internal/core/dynpower",
+		"internal/core/energy",
+		"internal/core/eventpred",
+		"internal/core/idlepower",
+		"internal/core/pgidle",
+		"internal/dvfs",
+	} {
+		unitPkgs[path.Join(modulePath, p)] = true
+	}
 	return Config{
 		DeterminismPkgs: pkgs,
 		PoolFuncNames:   map[string]bool{"forEachJob": true},
+		UnitsPkg:        path.Join(modulePath, "internal/units"),
+		UnitPkgs:        unitPkgs,
 	}
 }
 
 // AnalyzerNames lists every analyzer, in report order. "directive" covers
 // the directive parser's own findings (malformed or unknown directives).
-var AnalyzerNames = []string{"hotpath", "determinism", "poolsafety", "errcheck", "directive"}
+var AnalyzerNames = []string{"hotpath", "determinism", "poolsafety", "errcheck", "unitcheck", "directive"}
 
 var knownAnalyzer = map[string]bool{
 	"hotpath":     true,
 	"determinism": true,
 	"poolsafety":  true,
 	"errcheck":    true,
+	"unitcheck":   true,
 	"directive":   true,
 }
 
@@ -105,7 +134,8 @@ func (m *Module) Run(cfg Config) []Finding {
 	fs = append(fs, runDeterminism(m, cfg)...)
 	fs = append(fs, runPoolSafety(m, cfg)...)
 	fs = append(fs, runErrcheck(m)...)
-	fs = append(fs, m.unusedAllows("hotpath", "determinism", "poolsafety", "errcheck")...)
+	fs = append(fs, runUnitcheck(m, cfg)...)
+	fs = append(fs, m.unusedAllows("hotpath", "determinism", "poolsafety", "errcheck", "unitcheck")...)
 	sortFindings(fs)
 	return fs
 }
@@ -123,6 +153,8 @@ func (m *Module) RunAnalyzer(name string, cfg Config) []Finding {
 		fs = runPoolSafety(m, cfg)
 	case "errcheck":
 		fs = runErrcheck(m)
+	case "unitcheck":
+		fs = runUnitcheck(m, cfg)
 	case "directive":
 		fs = append(fs, m.directiveFindings...)
 	}

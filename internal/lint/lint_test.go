@@ -38,6 +38,8 @@ func fixtureConfig() Config {
 	return Config{
 		DeterminismPkgs: map[string]bool{"fixture/determinism": true},
 		PoolFuncNames:   map[string]bool{"forEachJob": true},
+		UnitsPkg:        "fixture/units",
+		UnitPkgs:        map[string]bool{"fixture/unitcheck": true},
 	}
 }
 
@@ -151,6 +153,7 @@ func TestDeterminismFixtures(t *testing.T) { checkFixture(t, "determinism", "det
 func TestPoolSafetyFixtures(t *testing.T)  { checkFixture(t, "poolsafety", "poolsafety") }
 func TestErrcheckFixtures(t *testing.T)    { checkFixture(t, "errcheck", "errcheck") }
 func TestDirectiveFixtures(t *testing.T)   { checkFixture(t, "directive", "directives") }
+func TestUnitcheckFixtures(t *testing.T)   { checkFixture(t, "unitcheck", "unitcheck") }
 
 // TestFindingString pins the report format the Makefile and CI grep for.
 func TestFindingString(t *testing.T) {
@@ -183,8 +186,14 @@ func TestRepoClean(t *testing.T) {
 	}
 	// The tree's sanctioned exceptions stay visible here: update this
 	// count deliberately when adding or removing an //ppep:allow.
-	if got := m.Suppressed(); got != 2 {
-		t.Errorf("suppressed findings = %d, want 2 (did an //ppep:allow come or go?)", got)
+	if got := m.Suppressed(); got != 35 {
+		t.Errorf("suppressed findings = %d, want 35 (did an //ppep:allow come or go?)", got)
+	}
+	// Per-analyzer: the hotpath exceptions predate unitcheck; the rest
+	// are the sanctioned dimensionless sites (docs/UNITS.md).
+	by := m.SuppressedBy()
+	if by["hotpath"] != 2 || by["unitcheck"] != 33 {
+		t.Errorf("suppressed by analyzer = %v, want hotpath:2 unitcheck:33", by)
 	}
 }
 

@@ -52,10 +52,21 @@ type Module struct {
 	allows            map[string][]*allowDirective // by filename
 	directiveFindings []Finding
 	suppressed        int
+	suppressedBy      map[string]int
 }
 
 // Suppressed reports how many findings //ppep:allow directives absorbed.
 func (m *Module) Suppressed() int { return m.suppressed }
+
+// SuppressedBy reports the absorbed-finding count per analyzer, for the
+// per-analyzer statistics ppeplint -stats records.
+func (m *Module) SuppressedBy() map[string]int {
+	out := make(map[string]int, len(m.suppressedBy))
+	for k, v := range m.suppressedBy {
+		out[k] = v
+	}
+	return out
+}
 
 // inModule reports whether an import path belongs to this module.
 func (m *Module) inModule(importPath string) bool {
@@ -136,11 +147,12 @@ func Load(dir string, patterns ...string) (*Module, error) {
 	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
 
 	m := &Module{
-		Path:   targets[0].Module.Path,
-		Dir:    targets[0].Module.Dir,
-		Fset:   token.NewFileSet(),
-		Funcs:  map[string]*FuncNode{},
-		allows: map[string][]*allowDirective{},
+		Path:         targets[0].Module.Path,
+		Dir:          targets[0].Module.Dir,
+		Fset:         token.NewFileSet(),
+		Funcs:        map[string]*FuncNode{},
+		allows:       map[string][]*allowDirective{},
+		suppressedBy: map[string]int{},
 	}
 
 	lookup := func(importPath string) (io.ReadCloser, error) {

@@ -21,6 +21,14 @@ func Clocked() float64 {
 	return float64(t.Unix())
 }
 
+// Elapsed reads the wall clock through the Since/Until arithmetic
+// helpers — the same nondeterminism as time.Now, just indirected.
+func Elapsed(start, deadline time.Time) float64 {
+	d := time.Since(start)    // want "wall clock"
+	u := time.Until(deadline) // want "wall clock"
+	return d.Seconds() + u.Seconds()
+}
+
 func GlobalRand() float64 {
 	return rand.Float64() // want "global math/rand.Float64"
 }

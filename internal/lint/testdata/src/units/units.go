@@ -1,0 +1,36 @@
+// Package units is the fixture counterpart of the real module's
+// internal/units: a handful of defined float64 quantity types plus the
+// named conversion helpers the unitcheck analyzer steers code toward.
+// The package itself is exempt from unitcheck — it is where dimension
+// moves are allowed to be spelled out.
+package units
+
+// Volts is an electrical potential.
+type Volts float64
+
+// Kelvin is an absolute temperature.
+type Kelvin float64
+
+// Celsius is a temperature on the Celsius scale.
+type Celsius float64
+
+// Watts is a power.
+type Watts float64
+
+// Seconds is a duration.
+type Seconds float64
+
+// Joules is an energy.
+type Joules float64
+
+// Kelvin converts a Celsius temperature to the absolute scale.
+func (c Celsius) Kelvin() Kelvin { return Kelvin(float64(c) + 273.15) }
+
+// Celsius converts an absolute temperature to the Celsius scale.
+func (k Kelvin) Celsius() Celsius { return Celsius(float64(k) - 273.15) }
+
+// Over integrates a power over a duration.
+func (w Watts) Over(d Seconds) Joules { return Joules(float64(w) * float64(d)) }
+
+// Per returns the dimensionless power ratio w/ref.
+func (w Watts) Per(ref Watts) float64 { return float64(w) / float64(ref) }

@@ -21,68 +21,69 @@ import (
 	"math"
 
 	"ppep/internal/arch"
+	"ppep/internal/units"
 )
 
 // Activity is one core's true activity during a time slice, in events per
 // second (not per instruction).
 type Activity struct {
 	Events     arch.EventVec // true per-second rates for E1..E12
-	PrefetchPS float64       // unobservable: prefetches per second
+	PrefetchPS float64       //ppep:allow unitcheck EventVec-denominated per-second rate, kept raw like the vector it extends
 	TLBWalkPS  float64       // unobservable: table walks per second
 	// EPIScale is a hidden per-phase energy-per-event modulation (≈1):
 	// real programs exercise different functional-unit mixes that no
 	// nine-event model can separate. Zero means 1.
-	EPIScale float64
-	Halted   bool // core idle (no workload bound)
+	EPIScale float64 //ppep:allow unitcheck dimensionless energy-per-event modulation around 1
+	Halted   bool    // core idle (no workload bound)
 }
 
 // NBActivity is the shared north bridge's true activity per second.
 type NBActivity struct {
-	L3AccessPS float64 // L3 lookups (hits+misses from all cores)
-	DRAMPS     float64 // DRAM accesses
+	L3AccessPS float64 //ppep:allow unitcheck EventVec-denominated per-second rates, kept raw like the vector they extend
+	DRAMPS     float64 // DRAM accesses per second
 }
 
 // Config holds the physical constants of the simulated chip. All switching
 // energies are in nanojoules at VRef; leakage parameters are referenced to
 // (VRef, T0K).
 type Config struct {
-	VRef float64 // core voltage reference (VF5 voltage)
+	VRef units.Volts // core voltage reference (VF5 voltage)
 
-	// Per-event switching energy (nJ) for the observable core events
+	// Per-event switching energy for the observable core events
 	// E1..E8 (E9, dispatch stalls, burns only clock power).
-	EventNJ [8]float64
+	EventNJ [8]units.NanoJoules
 	// StallNJ is the energy per dispatch-stall cycle (clock+idle pipeline).
-	StallNJ float64
+	StallNJ units.NanoJoules
 	// PrefetchNJ and TLBWalkNJ are the unobservable activities' energies.
-	PrefetchNJ, TLBWalkNJ float64
+	PrefetchNJ, TLBWalkNJ units.NanoJoules
 	// ClockWPerGHz is active clock-tree power per core per GHz at VRef.
-	ClockWPerGHz float64
+	ClockWPerGHz units.WattsPerGigaHertz
 	// HaltedClockFrac is the fraction of clock power that survives clock
 	// gating when a core is halted.
-	HaltedClockFrac float64
+	HaltedClockFrac float64 //ppep:allow unitcheck dimensionless clock-gating survival fraction
 	// ShortCircuitK is κ in the V²·(1+κ(V−VRef)) switching-energy scale.
-	ShortCircuitK float64
+	ShortCircuitK units.PerVolt
 
 	// Leakage.
-	CULeakW   float64 // per-CU leakage at (VRef, T0K)
-	NBLeakW   float64 // NB leakage at (NBVRef, T0K)
-	BaseW     float64 // un-gateable base power (I/O, PLLs); VF-independent
-	LeakVExp  float64 // 1/V exponential slope of leakage vs core voltage
-	LeakTExp  float64 // 1/K exponential slope of leakage vs temperature
-	T0K       float64
-	GateResid float64 // leakage fraction surviving power gating
+	CULeakW   units.Watts     // per-CU leakage at (VRef, T0K)
+	NBLeakW   units.Watts     // NB leakage at (NBVRef, T0K)
+	BaseW     units.Watts     // un-gateable base power (I/O, PLLs); VF-independent
+	LeakVExp  units.PerVolt   // exponential slope of leakage vs core voltage
+	LeakTExp  units.PerKelvin // exponential slope of leakage vs temperature
+	T0K       units.Kelvin
+	GateResid float64 //ppep:allow unitcheck dimensionless leakage fraction surviving power gating
 
 	// NB dynamic.
-	NBVRef         float64
-	L3AccessNJ     float64
-	DRAMAccessNJ   float64
-	NBClockWPerGHz float64
+	NBVRef         units.Volts
+	L3AccessNJ     units.NanoJoules
+	DRAMAccessNJ   units.NanoJoules
+	NBClockWPerGHz units.WattsPerGigaHertz
 
 	// HousekeepingW is the OS background dynamic power at (VRef, top
 	// frequency); it scales with V²f and exists whenever the chip is not
 	// fully gated. It is invisible to the benchmark's counters — exactly
 	// the "active idle dynamic power" the paper folds into idle power.
-	HousekeepingW float64
+	HousekeepingW units.Watts
 }
 
 // DefaultFX8320 returns the physical constants tuned for the FX-8320
@@ -94,7 +95,7 @@ func DefaultFX8320() *Config {
 		// One fully-loaded Piledriver core draws 15–20 W at VF5 — the
 		// Figure 7 trace shows ≈100 W with four busy cores. The energies
 		// below reproduce that (≈4 nJ per instruction at a typical mix).
-		EventNJ: [8]float64{
+		EventNJ: [8]units.NanoJoules{
 			1.30, // E1 retired uop: scheduler+ALU+retire
 			2.60, // E2 FPU pipe op
 			0.90, // E3 icache fetch
@@ -143,80 +144,80 @@ func DefaultPhenomII() *Config {
 }
 
 // switchScale is the voltage scaling of switching energy.
-func (c *Config) switchScale(v float64) float64 {
-	r := v / c.VRef
-	return r * r * (1 + c.ShortCircuitK*(v-c.VRef))
+func (c *Config) switchScale(v units.Volts) float64 {
+	r := v.Per(c.VRef)
+	return r * r * (1 + c.ShortCircuitK.Times(v-c.VRef))
 }
 
 // CoreDynCoeffs are the operating-point factors of the core dynamic power
 // model. They depend only on (V, f), so the simulator caches them across
 // ticks while a CU's operating point holds.
 type CoreDynCoeffs struct {
-	Scale  float64 // switching-energy voltage scale
-	ClockW float64 // clock-tree power at (V, f)
+	Scale  float64     //ppep:allow unitcheck dimensionless switching-energy voltage scale
+	ClockW units.Watts // clock-tree power at (V, f)
 }
 
 // CoreDynCoeffsAt precomputes the coefficients for one operating point.
-func (c *Config) CoreDynCoeffsAt(v, fGHz float64) CoreDynCoeffs {
+func (c *Config) CoreDynCoeffsAt(v units.Volts, fGHz units.GigaHertz) CoreDynCoeffs {
 	return CoreDynCoeffs{
 		Scale:  c.switchScale(v),
-		ClockW: c.ClockWPerGHz * fGHz * (v / c.VRef) * (v / c.VRef),
+		ClockW: units.Watts(float64(c.ClockWPerGHz.Times(fGHz)) * v.Per(c.VRef) * v.Per(c.VRef)),
 	}
 }
 
 // CoreDynamicWWith is CoreDynamicW with the operating-point terms hoisted.
 //
 //ppep:hotpath
-func (c *Config) CoreDynamicWWith(k CoreDynCoeffs, a Activity) float64 {
+func (c *Config) CoreDynamicWWith(k CoreDynCoeffs, a Activity) units.Watts {
 	if a.Halted {
-		return k.ClockW * c.HaltedClockFrac
+		return units.Watts(float64(k.ClockW) * c.HaltedClockFrac)
 	}
 	var nj float64
 	for i := 0; i < 8; i++ {
-		nj += c.EventNJ[i] * a.Events[i]
+		nj += float64(c.EventNJ[i]) * a.Events[i]
 	}
-	nj += c.StallNJ * a.Events.Get(arch.DispatchStalls)
-	nj += c.PrefetchNJ * a.PrefetchPS
-	nj += c.TLBWalkNJ * a.TLBWalkPS
+	nj += float64(c.StallNJ) * a.Events.Get(arch.DispatchStalls)
+	nj += float64(c.PrefetchNJ) * a.PrefetchPS
+	nj += float64(c.TLBWalkNJ) * a.TLBWalkPS
 	epi := a.EPIScale
 	if epi == 0 {
 		epi = 1
 	}
 	// nJ/s = nW; convert to W.
-	return nj*1e-9*k.Scale*epi + k.ClockW
+	return units.Watts(nj*1e-9*k.Scale*epi) + k.ClockW
 }
 
 // CoreDynamicW returns one core's true dynamic power at voltage v and
 // frequency fGHz given its activity.
-func (c *Config) CoreDynamicW(a Activity, v, fGHz float64) float64 {
+func (c *Config) CoreDynamicW(a Activity, v units.Volts, fGHz units.GigaHertz) units.Watts {
 	return c.CoreDynamicWWith(c.CoreDynCoeffsAt(v, fGHz), a)
 }
 
 // NBDynCoeffs are the NB-operating-point factors of NBDynamicW, cacheable
 // while the NB point holds (it changes only via SetNBPoint).
 type NBDynCoeffs struct {
-	Scale  float64
-	ClockW float64
+	Scale  float64 //ppep:allow unitcheck dimensionless switching-energy voltage scale
+	ClockW units.Watts
 }
 
 // NBDynCoeffsAt precomputes the NB coefficients for one operating point.
-func (c *Config) NBDynCoeffsAt(nbV, nbF float64) NBDynCoeffs {
-	r := nbV / c.NBVRef
+func (c *Config) NBDynCoeffsAt(nbV units.Volts, nbF units.GigaHertz) NBDynCoeffs {
+	r := nbV.Per(c.NBVRef)
 	scale := r * r
-	return NBDynCoeffs{Scale: scale, ClockW: c.NBClockWPerGHz * nbF * scale}
+	return NBDynCoeffs{Scale: scale, ClockW: units.Watts(float64(c.NBClockWPerGHz.Times(nbF)) * scale)}
 }
 
 // NBDynamicWWith is NBDynamicW with the operating-point terms hoisted.
 //
 //ppep:hotpath
-func (c *Config) NBDynamicWWith(k NBDynCoeffs, nb NBActivity) float64 {
-	nj := c.L3AccessNJ*nb.L3AccessPS + c.DRAMAccessNJ*nb.DRAMPS
-	return nj*1e-9*k.Scale + k.ClockW
+func (c *Config) NBDynamicWWith(k NBDynCoeffs, nb NBActivity) units.Watts {
+	nj := float64(c.L3AccessNJ)*nb.L3AccessPS + float64(c.DRAMAccessNJ)*nb.DRAMPS
+	return units.Watts(nj*1e-9*k.Scale) + k.ClockW
 }
 
 // NBDynamicW returns the NB's true dynamic power at NB voltage nbV and
 // frequency nbF.
-func (c *Config) NBDynamicW(nb NBActivity, nbV, nbF float64) float64 {
+func (c *Config) NBDynamicW(nb NBActivity, nbV units.Volts, nbF units.GigaHertz) units.Watts {
 	return c.NBDynamicWWith(c.NBDynCoeffsAt(nbV, nbF), nb)
 }
 
@@ -224,56 +225,61 @@ func (c *Config) NBDynamicW(nb NBActivity, nbV, nbF float64) float64 {
 // CU and NB terms share the same T exponent, so the simulator computes it
 // once per tick for all five leakage evaluations.
 //
+//ppep:allow unitcheck dimensionless exponential scale factors around 1
 //ppep:hotpath
-func (c *Config) LeakTempScale(tK float64) float64 {
-	return math.Exp(c.LeakTExp * (tK - c.T0K))
+func (c *Config) LeakTempScale(tK units.Kelvin) float64 {
+	return math.Exp(c.LeakTExp.Times(tK - c.T0K))
 }
 
 // CULeakVoltScale returns the core-rail voltage factor of CU leakage,
 // constant while the rail voltage holds.
 //
+//ppep:allow unitcheck dimensionless exponential scale factors around 1
 //ppep:hotpath
-func (c *Config) CULeakVoltScale(v float64) float64 {
-	return math.Exp(c.LeakVExp * (v - c.VRef))
+func (c *Config) CULeakVoltScale(v units.Volts) float64 {
+	return math.Exp(c.LeakVExp.Times(v - c.VRef))
 }
 
 // NBLeakVoltScale returns the NB-rail voltage factor of NB leakage.
 //
+//ppep:allow unitcheck dimensionless exponential scale factors around 1
 //ppep:hotpath
-func (c *Config) NBLeakVoltScale(nbV float64) float64 {
-	return math.Exp(c.LeakVExp * (nbV - c.NBVRef))
+func (c *Config) NBLeakVoltScale(nbV units.Volts) float64 {
+	return math.Exp(c.LeakVExp.Times(nbV - c.NBVRef))
 }
 
 // CULeakageWWith assembles CU leakage from precomputed factors.
 //
+//ppep:allow unitcheck dimensionless exponential scale factors around 1
 //ppep:hotpath
-func (c *Config) CULeakageWWith(voltScale, tempScale float64, gated bool) float64 {
-	w := c.CULeakW * voltScale * tempScale
+func (c *Config) CULeakageWWith(voltScale, tempScale float64, gated bool) units.Watts {
+	w := units.Watts(float64(c.CULeakW) * voltScale * tempScale)
 	if gated {
-		w *= c.GateResid
+		w = units.Watts(float64(w) * c.GateResid)
 	}
 	return w
 }
 
 // NBLeakageWWith assembles NB leakage from precomputed factors.
 //
+//ppep:allow unitcheck dimensionless exponential scale factors around 1
 //ppep:hotpath
-func (c *Config) NBLeakageWWith(voltScale, tempScale float64, gated bool) float64 {
-	w := c.NBLeakW * voltScale * tempScale
+func (c *Config) NBLeakageWWith(voltScale, tempScale float64, gated bool) units.Watts {
+	w := units.Watts(float64(c.NBLeakW) * voltScale * tempScale)
 	if gated {
-		w *= c.GateResid
+		w = units.Watts(float64(w) * c.GateResid)
 	}
 	return w
 }
 
 // CULeakageW returns one compute unit's leakage at core voltage v and
 // temperature tK. Gated CUs retain GateResid of their leakage.
-func (c *Config) CULeakageW(v, tK float64, gated bool) float64 {
+func (c *Config) CULeakageW(v units.Volts, tK units.Kelvin, gated bool) units.Watts {
 	return c.CULeakageWWith(c.CULeakVoltScale(v), c.LeakTempScale(tK), gated)
 }
 
 // NBLeakageW returns the NB's leakage at its voltage and temperature.
-func (c *Config) NBLeakageW(nbV, tK float64, gated bool) float64 {
+func (c *Config) NBLeakageW(nbV units.Volts, tK units.Kelvin, gated bool) units.Watts {
 	return c.NBLeakageWWith(c.NBLeakVoltScale(nbV), c.LeakTempScale(tK), gated)
 }
 
@@ -281,25 +287,25 @@ func (c *Config) NBLeakageW(nbV, tK float64, gated bool) float64 {
 // frequency fGHz (relative to the chip's top frequency fTop).
 //
 //ppep:hotpath
-func (c *Config) HousekeepingDynW(v, fGHz, fTop float64) float64 {
-	r := v / c.VRef
-	return c.HousekeepingW * r * r * (fGHz / fTop)
+func (c *Config) HousekeepingDynW(v units.Volts, fGHz, fTop units.GigaHertz) units.Watts {
+	r := v.Per(c.VRef)
+	return units.Watts(float64(c.HousekeepingW) * r * r * fGHz.Per(fTop))
 }
 
 // Breakdown is the per-component decomposition of one tick's chip power.
 type Breakdown struct {
-	CoreDynW []float64 // per core
-	CULeakW  []float64 // per CU
-	NBDynW   float64
-	NBLeakW  float64
-	BaseW    float64
-	HousekW  float64
+	CoreDynW []units.Watts // per core
+	CULeakW  []units.Watts // per CU
+	NBDynW   units.Watts
+	NBLeakW  units.Watts
+	BaseW    units.Watts
+	HousekW  units.Watts
 }
 
 // TotalW sums the breakdown.
 //
 //ppep:hotpath
-func (b *Breakdown) TotalW() float64 {
+func (b *Breakdown) TotalW() units.Watts {
 	t := b.NBDynW + b.NBLeakW + b.BaseW + b.HousekW
 	for _, w := range b.CoreDynW {
 		t += w
@@ -312,7 +318,7 @@ func (b *Breakdown) TotalW() float64 {
 
 // CoreTotalW returns the "core side" share: core dynamic + CU leakage +
 // housekeeping. Used by the Figure 10/11 core-vs-NB energy split.
-func (b *Breakdown) CoreTotalW() float64 {
+func (b *Breakdown) CoreTotalW() units.Watts {
 	t := b.HousekW
 	for _, w := range b.CoreDynW {
 		t += w
@@ -324,4 +330,4 @@ func (b *Breakdown) CoreTotalW() float64 {
 }
 
 // NBTotalW returns the NB share: NB dynamic + NB leakage + base.
-func (b *Breakdown) NBTotalW() float64 { return b.NBDynW + b.NBLeakW + b.BaseW }
+func (b *Breakdown) NBTotalW() units.Watts { return b.NBDynW + b.NBLeakW + b.BaseW }

@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"ppep/internal/arch"
+	"ppep/internal/units"
 )
 
 // busyActivity builds a plausible full-load activity at the given
@@ -49,7 +50,7 @@ func TestFullLoadChipPowerBallpark(t *testing.T) {
 func TestIdlePowerBallpark(t *testing.T) {
 	// Active idle (not gated) at VF5 should be ~25–45 W; at VF1 ~8–18 W.
 	c := DefaultFX8320()
-	idleAt := func(v, f, tK float64) float64 {
+	idleAt := func(v units.Volts, f units.GigaHertz, tK units.Kelvin) units.Watts {
 		total := c.BaseW + c.HousekeepingDynW(v, f, 3.5)
 		for i := 0; i < 8; i++ {
 			total += c.CoreDynamicW(Activity{Halted: true}, v, f)
@@ -77,8 +78,8 @@ func TestIdlePowerBallpark(t *testing.T) {
 func TestDynamicMonotoneInVoltage(t *testing.T) {
 	c := DefaultFX8320()
 	a := busyActivity(3e9)
-	prev := 0.0
-	for _, v := range []float64{0.888, 1.008, 1.128, 1.242, 1.320} {
+	prev := units.Watts(0)
+	for _, v := range []units.Volts{0.888, 1.008, 1.128, 1.242, 1.320} {
 		w := c.CoreDynamicW(a, v, 2.0)
 		if w <= prev {
 			t.Errorf("dynamic power not increasing at %v V: %v <= %v", v, w, prev)
@@ -111,8 +112,8 @@ func TestHaltedCoreBurnsOnlyGatedClock(t *testing.T) {
 	if halted >= active {
 		t.Error("halted core must burn less than active-idle core")
 	}
-	want := c.ClockWPerGHz * 3.5 * c.HaltedClockFrac
-	if math.Abs(halted-want) > 1e-9 {
+	want := units.Watts(float64(c.ClockWPerGHz) * 3.5 * c.HaltedClockFrac)
+	if math.Abs(float64(halted-want)) > 1e-9 {
 		t.Errorf("halted clock %v, want %v", halted, want)
 	}
 }
@@ -121,8 +122,8 @@ func TestLeakageExponentialInTemperature(t *testing.T) {
 	c := DefaultFX8320()
 	cold := c.CULeakageW(1.32, 300, false)
 	hot := c.CULeakageW(1.32, 340, false)
-	ratio := hot / cold
-	want := math.Exp(c.LeakTExp * 40)
+	ratio := hot.Per(cold)
+	want := math.Exp(float64(c.LeakTExp) * 40)
 	if math.Abs(ratio-want) > 1e-9 {
 		t.Errorf("leakage T ratio %v, want %v", ratio, want)
 	}
@@ -135,8 +136,8 @@ func TestLeakageExponentialInVoltage(t *testing.T) {
 	c := DefaultFX8320()
 	lo := c.CULeakageW(0.888, 330, false)
 	hi := c.CULeakageW(1.320, 330, false)
-	if hi/lo < 2.5 || hi/lo > 8 {
-		t.Errorf("voltage leakage ratio %v implausible", hi/lo)
+	if hi.Per(lo) < 2.5 || hi.Per(lo) > 8 {
+		t.Errorf("voltage leakage ratio %v implausible", hi.Per(lo))
 	}
 }
 
@@ -144,8 +145,9 @@ func TestPowerGatingResidual(t *testing.T) {
 	c := DefaultFX8320()
 	open := c.CULeakageW(1.32, 330, false)
 	gated := c.CULeakageW(1.32, 330, true)
-	if math.Abs(gated-open*c.GateResid) > 1e-12 {
-		t.Errorf("gated leakage %v, want %v", gated, open*c.GateResid)
+	wantGated := units.Watts(float64(open) * c.GateResid)
+	if math.Abs(float64(gated-wantGated)) > 1e-12 {
+		t.Errorf("gated leakage %v, want %v", gated, wantGated)
 	}
 	openNB := c.NBLeakageW(1.175, 330, false)
 	gatedNB := c.NBLeakageW(1.175, 330, true)
@@ -157,7 +159,7 @@ func TestPowerGatingResidual(t *testing.T) {
 func TestNBDynamicComponents(t *testing.T) {
 	c := DefaultFX8320()
 	idle := c.NBDynamicW(NBActivity{}, 1.175, 2.2)
-	if math.Abs(idle-c.NBClockWPerGHz*2.2) > 1e-9 {
+	if math.Abs(float64(idle-c.NBClockWPerGHz.Times(2.2))) > 1e-9 {
 		t.Errorf("NB idle clock %v", idle)
 	}
 	busy := c.NBDynamicW(NBActivity{L3AccessPS: 1e8, DRAMPS: 5e7}, 1.175, 2.2)
@@ -168,15 +170,15 @@ func TestNBDynamicComponents(t *testing.T) {
 	// dynamic energy per operation by ≈36% (V² scaling).
 	opHi := c.NBDynamicW(NBActivity{DRAMPS: 1e8}, 1.175, 2.2) - c.NBDynamicW(NBActivity{}, 1.175, 2.2)
 	opLo := c.NBDynamicW(NBActivity{DRAMPS: 1e8}, 0.940, 2.2) - c.NBDynamicW(NBActivity{}, 0.940, 2.2)
-	if math.Abs(opLo/opHi-0.64) > 0.01 {
-		t.Errorf("per-op NB energy scale %v, want ≈0.64", opLo/opHi)
+	if math.Abs(opLo.Per(opHi)-0.64) > 0.01 {
+		t.Errorf("per-op NB energy scale %v, want ≈0.64", opLo.Per(opHi))
 	}
 }
 
 func TestHousekeepingScales(t *testing.T) {
 	c := DefaultFX8320()
 	top := c.HousekeepingDynW(1.320, 3.5, 3.5)
-	if math.Abs(top-c.HousekeepingW) > 1e-12 {
+	if math.Abs(float64(top-c.HousekeepingW)) > 1e-12 {
 		t.Errorf("housekeeping at top = %v", top)
 	}
 	low := c.HousekeepingDynW(0.888, 1.4, 3.5)
@@ -187,8 +189,8 @@ func TestHousekeepingScales(t *testing.T) {
 
 func TestBreakdownSums(t *testing.T) {
 	b := Breakdown{
-		CoreDynW: []float64{1, 2},
-		CULeakW:  []float64{3},
+		CoreDynW: []units.Watts{1, 2},
+		CULeakW:  []units.Watts{3},
 		NBDynW:   4, NBLeakW: 5, BaseW: 6, HousekW: 7,
 	}
 	if b.TotalW() != 28 {
@@ -200,7 +202,7 @@ func TestBreakdownSums(t *testing.T) {
 	if b.NBTotalW() != 15 {
 		t.Errorf("NBTotalW = %v", b.NBTotalW())
 	}
-	if math.Abs(b.TotalW()-(b.CoreTotalW()+b.NBTotalW())) > 1e-12 {
+	if math.Abs(float64(b.TotalW()-(b.CoreTotalW()+b.NBTotalW()))) > 1e-12 {
 		t.Error("core+NB split must cover the total")
 	}
 }
@@ -211,8 +213,8 @@ func TestEffectiveAlphaInPlausibleRange(t *testing.T) {
 	// derived from measurement.
 	c := DefaultFX8320()
 	num, den := 0.0, 0.0
-	for _, v := range []float64{0.888, 1.008, 1.128, 1.242} {
-		x := math.Log(v / c.VRef)
+	for _, v := range []units.Volts{0.888, 1.008, 1.128, 1.242} {
+		x := math.Log(v.Per(c.VRef))
 		y := math.Log(c.switchScale(v))
 		num += x * y
 		den += x * x
@@ -226,7 +228,7 @@ func TestEffectiveAlphaInPlausibleRange(t *testing.T) {
 func TestSwitchScalePositiveProperty(t *testing.T) {
 	c := DefaultFX8320()
 	f := func(raw uint16) bool {
-		v := 0.7 + float64(raw)/float64(1<<16)*0.8 // 0.7–1.5 V
+		v := 0.7 + units.Volts(raw)/units.Volts(1<<16)*0.8 // 0.7–1.5 V
 		return c.switchScale(v) > 0
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {

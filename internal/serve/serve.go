@@ -27,6 +27,7 @@ import (
 	"ppep/internal/arch"
 	"ppep/internal/core"
 	"ppep/internal/daemon"
+	"ppep/internal/units"
 )
 
 // DefaultStaleAfter is the /healthz staleness threshold when Options
@@ -227,21 +228,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var b strings.Builder
 	rec, ok := s.d.Latest()
 	if ok {
-		gauge(&b, "ppep_measured_power_watts", "Sensor-measured chip power over the last interval.",
-			rec.Interval.MeasPowerW)
-		gauge(&b, "ppep_diode_temp_kelvin", "Socket thermal diode reading.", rec.Interval.TempK)
+		gauge(&b, "ppep_measured_power", "Sensor-measured chip power over the last interval.",
+			units.Watts(rec.Interval.MeasPowerW))
+		gauge(&b, "ppep_diode_temp", "Socket thermal diode reading.",
+			units.Kelvin(rec.Interval.TempK).Celsius())
+		gauge(&b, "ppep_measured_freq", "Core clock of the VF state the last interval ran at.",
+			s.d.Models.Table.Point(rec.Report.MeasuredVF).Freq.MegaHertz())
 		gauge(&b, "ppep_measured_vf_state", "VF state the last interval ran at.",
 			float64(rec.Report.MeasuredVF))
 		gauge(&b, "ppep_interval_seq", "Sequence number of the last completed interval.",
 			float64(rec.Seq))
-		perVF(&b, "ppep_predicted_chip_watts", "Predicted chip power at each VF state.",
-			rec, func(p core.Projection) float64 { return p.ChipW })
-		perVF(&b, "ppep_predicted_idle_watts", "Predicted idle power at each VF state.",
-			rec, func(p core.Projection) float64 { return p.IdleW })
-		perVF(&b, "ppep_predicted_ips", "Predicted chip-wide instructions per second at each VF state.",
-			rec, func(p core.Projection) float64 { return p.TotalIPS })
-		perVF(&b, "ppep_predicted_interval_joules", "Predicted energy of one decision interval at each VF state.",
-			rec, func(p core.Projection) float64 { return p.IntervalEnergyJ })
+		perVF(&b, "ppep_predicted_chip", "Predicted chip power at each VF state.",
+			rec, func(p core.Projection) units.Watts { return p.ChipW })
+		perVF(&b, "ppep_predicted_idle", "Predicted idle power at each VF state.",
+			rec, func(p core.Projection) units.Watts { return p.IdleW })
+		perVF(&b, "ppep_predicted", "Predicted chip-wide instructions per second at each VF state.",
+			rec, func(p core.Projection) units.InstPerSec { return p.TotalIPS })
+		perVF(&b, "ppep_predicted_interval", "Predicted energy of one decision interval at each VF state.",
+			rec, func(p core.Projection) units.Joules { return p.IntervalEnergyJ })
 	}
 	for _, c := range counterRows(s.d.Counters().Snapshot()) {
 		counter(&b, c.name, c.help, c.val)
@@ -273,18 +277,25 @@ func counterRows(c daemon.CounterSnapshot) []counterRow {
 	return rows
 }
 
-func gauge(b *strings.Builder, name, help string, v float64) {
-	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+// gauge renders one gauge. The metric name is the base plus the
+// canonical unit suffix of the value's type (units.Suffix), so a name
+// can never disagree with the unit of the value it exports; plain
+// float64 values (state numbers, sequence counters) get no suffix.
+func gauge[T ~float64](b *strings.Builder, base, help string, v T) {
+	name := base + units.Suffix(v)
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, float64(v))
 }
 
 func counter(b *strings.Builder, name, help string, v uint64) {
 	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 }
 
-// perVF renders one gauge with a vf label per projection.
-func perVF(b *strings.Builder, name, help string, rec daemon.Record, f func(core.Projection) float64) {
+// perVF renders one gauge with a vf label per projection, with the unit
+// suffix derived from the projection field's type like gauge.
+func perVF[T ~float64](b *strings.Builder, base, help string, rec daemon.Record, f func(core.Projection) T) {
+	name := base + units.Suffix(T(0))
 	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
 	for _, p := range rec.Report.PerVF {
-		fmt.Fprintf(b, "%s{vf=\"%d\"} %g\n", name, int(p.VF), f(p))
+		fmt.Fprintf(b, "%s{vf=\"%d\"} %g\n", name, int(p.VF), float64(f(p)))
 	}
 }

@@ -246,7 +246,7 @@ func TestServeEndpoints(t *testing.T) {
 		}
 		for _, want := range []string{
 			"ppep_measured_power_watts ",
-			"ppep_diode_temp_kelvin ",
+			"ppep_diode_temp_celsius ",
 			"ppep_measured_vf_state ",
 			"ppep_interval_seq 5",
 			`ppep_predicted_chip_watts{vf="1"} `,

@@ -5,19 +5,23 @@
 // thermal diode while it cools (Figure 1).
 package thermal
 
-import "math"
+import (
+	"math"
+
+	"ppep/internal/units"
+)
 
 // Model is a single-node RC thermal model: a heat capacity Cth coupled to
 // ambient through resistance Rth. dT/dt = (P − (T−Tamb)/Rth) / Cth.
 type Model struct {
 	// CthJPerK is the lumped heat capacity of die + spreader + sink.
-	CthJPerK float64
+	CthJPerK units.JoulesPerKelvin
 	// RthKPerW is the junction-to-ambient thermal resistance.
-	RthKPerW float64
+	RthKPerW units.KelvinPerWatt
 	// AmbientK is the ambient (intake air) temperature.
-	AmbientK float64
+	AmbientK units.Kelvin
 
-	tempK float64
+	tempK units.Kelvin
 }
 
 // DefaultFX8320 returns the thermal model used for the FX-8320 platform:
@@ -29,38 +33,40 @@ func DefaultFX8320() *Model {
 }
 
 // New builds a model at thermal equilibrium with ambient.
-func New(cth, rth, ambientK float64) *Model {
+func New(cth units.JoulesPerKelvin, rth units.KelvinPerWatt, ambientK units.Kelvin) *Model {
 	return &Model{CthJPerK: cth, RthKPerW: rth, AmbientK: ambientK, tempK: ambientK}
 }
 
-// Step advances the node by dt seconds under powerW watts of dissipation.
-// It uses the exact exponential solution of the linear ODE over the step,
-// so large steps remain stable.
-func (m *Model) Step(powerW, dt float64) {
+// Step advances the node by dt under powerW of dissipation. It uses the
+// exact exponential solution of the linear ODE over the step, so large
+// steps remain stable.
+func (m *Model) Step(powerW units.Watts, dt units.Seconds) {
 	if dt <= 0 {
 		return
 	}
 	// Steady state for this power level.
-	tss := m.AmbientK + powerW*m.RthKPerW
-	tau := m.RthKPerW * m.CthJPerK
+	tss := m.AmbientK + m.RthKPerW.Times(powerW)
+	tau := m.RthKPerW.TimesHeatCap(m.CthJPerK)
 	// T(t+dt) = Tss + (T−Tss)·e^(−dt/τ)
-	m.tempK = tss + (m.tempK-tss)*expNeg(dt/tau)
+	m.tempK = tss + units.Kelvin(float64(m.tempK-tss)*expNeg(dt.Per(tau)))
 }
 
-// TempK returns the current junction temperature in kelvin.
-func (m *Model) TempK() float64 { return m.tempK }
+// TempK returns the current junction temperature.
+func (m *Model) TempK() units.Kelvin { return m.tempK }
 
 // SetTempK forces the node temperature (used to start experiments from a
 // known thermal state).
-func (m *Model) SetTempK(t float64) { m.tempK = t }
+func (m *Model) SetTempK(t units.Kelvin) { m.tempK = t }
 
 // SteadyTempK returns the equilibrium temperature at the given power.
-func (m *Model) SteadyTempK(powerW float64) float64 {
-	return m.AmbientK + powerW*m.RthKPerW
+func (m *Model) SteadyTempK(powerW units.Watts) units.Kelvin {
+	return m.AmbientK + m.RthKPerW.Times(powerW)
 }
 
-// TimeConstantS returns the RC time constant in seconds.
-func (m *Model) TimeConstantS() float64 { return m.RthKPerW * m.CthJPerK }
+// TimeConstantS returns the RC time constant.
+func (m *Model) TimeConstantS() units.Seconds {
+	return m.RthKPerW.TimesHeatCap(m.CthJPerK)
+}
 
 // expNeg computes e^(−x) for x ≥ 0, clamping negative inputs to zero so
 // Step never amplifies the distance to steady state.

@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"ppep/internal/units"
 )
 
 func TestStartsAtAmbient(t *testing.T) {
@@ -22,7 +24,7 @@ func TestHeatsTowardSteadyState(t *testing.T) {
 	for i := 0; i < 100000; i++ {
 		m.Step(100, 0.01)
 	}
-	if math.Abs(m.TempK()-want) > 0.01 {
+	if math.Abs(float64(m.TempK()-want)) > 0.01 {
 		t.Errorf("temp %v after long heating, want %v", m.TempK(), want)
 	}
 }
@@ -33,7 +35,7 @@ func TestCoolsToAmbient(t *testing.T) {
 	for i := 0; i < 100000; i++ {
 		m.Step(0, 0.01)
 	}
-	if math.Abs(m.TempK()-300) > 0.01 {
+	if math.Abs(float64(m.TempK()-300)) > 0.01 {
 		t.Errorf("temp %v after cooling, want 300", m.TempK())
 	}
 }
@@ -49,7 +51,7 @@ func TestTimeConstant(t *testing.T) {
 	for i := 0; i < steps; i++ {
 		m.Step(100, 0.001)
 	}
-	frac := (m.TempK() - 300) / (m.SteadyTempK(100) - 300)
+	frac := float64(m.TempK()-300) / float64(m.SteadyTempK(100)-300)
 	if math.Abs(frac-(1-1/math.E)) > 0.005 {
 		t.Errorf("fraction after tau = %v, want %v", frac, 1-1/math.E)
 	}
@@ -66,7 +68,7 @@ func TestStepSizeIndependence(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		b.Step(80, 1.0)
 	}
-	if math.Abs(a.TempK()-b.TempK()) > 0.05 {
+	if math.Abs(float64(a.TempK()-b.TempK())) > 0.05 {
 		t.Errorf("step-size dependence: %v vs %v", a.TempK(), b.TempK())
 	}
 }
@@ -100,9 +102,9 @@ func TestExpNegAccuracy(t *testing.T) {
 func TestMonotoneApproach(t *testing.T) {
 	// Property: temperature approaches steady state monotonically.
 	f := func(power, start uint8) bool {
-		p := float64(power%150) + 1
+		p := units.Watts(power%150) + 1
 		m := New(190, 0.32, 300)
-		m.SetTempK(280 + float64(start%120))
+		m.SetTempK(280 + units.Kelvin(start%120))
 		tss := m.SteadyTempK(p)
 		prev := m.TempK()
 		for i := 0; i < 100; i++ {

@@ -1,0 +1,163 @@
+package units
+
+import (
+	"math"
+	"testing"
+)
+
+// closeRel reports a/b agreement to within ~1 ulp-scale relative error.
+// Conversions that multiply and divide by the same factor (×1e3, ×1e9)
+// or add and subtract the same offset are not exactly invertible in
+// binary floating point, so round-trips are checked relatively.
+func closeRel(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= 1e-12*scale
+}
+
+func FuzzTemperatureRoundTrip(f *testing.F) {
+	for _, seed := range []float64{0, 273.15, 300, 353.8, 1e6, -40} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, x float64) {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			t.Skip()
+		}
+		k := Kelvin(x)
+		if back := k.Celsius().Kelvin(); !closeRel(float64(back), x) &&
+			// Catastrophic cancellation near the offset is inherent to
+			// the representation, not a conversion bug: the absolute
+			// error still stays within one offset ulp.
+			math.Abs(float64(back)-x) > 1e-10 {
+			t.Errorf("K→C→K: %v → %v", x, float64(back))
+		}
+		c := Celsius(x)
+		if back := c.Kelvin().Celsius(); !closeRel(float64(back), x) &&
+			math.Abs(float64(back)-x) > 1e-10 {
+			t.Errorf("C→K→C: %v → %v", x, float64(back))
+		}
+	})
+}
+
+func FuzzFrequencyRoundTrip(f *testing.F) {
+	for _, seed := range []float64{0.8, 1.4, 2.3, 3.5, 1e-9, 1e12} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, x float64) {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			t.Skip()
+		}
+		g := GigaHertz(x)
+		if back := g.MegaHertz().GigaHertz(); !closeRel(float64(back), x) {
+			t.Errorf("GHz→MHz→GHz: %v → %v", x, float64(back))
+		}
+		m := MegaHertz(x)
+		if back := m.GigaHertz().MegaHertz(); !closeRel(float64(back), x) {
+			t.Errorf("MHz→GHz→MHz: %v → %v", x, float64(back))
+		}
+	})
+}
+
+func FuzzDurationRoundTrip(f *testing.F) {
+	for _, seed := range []float64{0.02, 0.2, 1, 36, 1e-6} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, x float64) {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			t.Skip()
+		}
+		s := Seconds(x)
+		if back := s.Milliseconds().Seconds(); !closeRel(float64(back), x) {
+			t.Errorf("s→ms→s: %v → %v", x, float64(back))
+		}
+	})
+}
+
+func FuzzEnergyPowerRoundTrip(f *testing.F) {
+	f.Add(95.0, 0.2)
+	f.Add(48.0, 0.02)
+	f.Add(130.0, 1.0)
+	f.Fuzz(func(t *testing.T, w, d float64) {
+		if math.IsNaN(w) || math.IsInf(w, 0) || math.IsNaN(d) || d <= 0 || math.IsInf(d, 0) {
+			t.Skip()
+		}
+		j := Watts(w).Over(Seconds(d))
+		if back := j.OverTime(Seconds(d)); !closeRel(float64(back), w) {
+			t.Errorf("W→J→W over %v s: %v → %v", d, w, float64(back))
+		}
+		// The millisecond integration path must agree with the seconds
+		// path on representable durations.
+		j2 := Watts(w).OverMS(Seconds(d).Milliseconds())
+		if !closeRel(float64(j), float64(j2)) {
+			t.Errorf("Over vs OverMS: %v vs %v", float64(j), float64(j2))
+		}
+	})
+}
+
+func FuzzThroughputInvert(f *testing.F) {
+	f.Add(3.2e9)
+	f.Add(1.0)
+	f.Fuzz(func(t *testing.T, x float64) {
+		if math.IsNaN(x) || x <= 0 || math.IsInf(x, 0) {
+			t.Skip()
+		}
+		r := InstPerSec(x)
+		// 1/(1/x) round-trips exactly for powers of two and to ~1 ulp
+		// otherwise.
+		if back := 1 / float64(r.Invert()); !closeRel(back, x) {
+			t.Errorf("IPS invert: %v → %v", x, back)
+		}
+	})
+}
+
+func TestTemperatureOffset(t *testing.T) {
+	if got := Kelvin(300).Celsius(); math.Abs(float64(got)-26.85) > 1e-9 {
+		t.Errorf("300 K = %v °C, want 26.85", float64(got))
+	}
+	if got := Celsius(0).Kelvin(); got != KelvinOffset {
+		t.Errorf("0 °C = %v K, want %v", float64(got), KelvinOffset)
+	}
+}
+
+func TestScaleFreqMatchesEq1Order(t *testing.T) {
+	// Eq. 1: MCPI scales linearly with frequency; the helper must keep
+	// the historical (c*to)/from evaluation order bit-for-bit.
+	c, to, from := 0.7, 1.4, 3.5
+	want := c * to / from
+	if got := CPI(c).ScaleFreq(GigaHertz(to), GigaHertz(from)); float64(got) != want {
+		t.Errorf("ScaleFreq = %v, want %v", float64(got), want)
+	}
+}
+
+func TestNanoJoules(t *testing.T) {
+	if got := NanoJoules(2.5).Joules(); float64(got) != 2.5*1e-9 {
+		t.Errorf("2.5 nJ = %v J", float64(got))
+	}
+}
+
+func TestSuffix(t *testing.T) {
+	cases := []struct {
+		q    any
+		want string
+	}{
+		{Watts(1), "_watts"},
+		{Joules(1), "_joules"},
+		{Celsius(1), "_celsius"},
+		{Kelvin(1), "_kelvin"},
+		{MegaHertz(1), "_mhz"},
+		{GigaHertz(1), "_ghz"},
+		{Volts(1), "_volts"},
+		{Seconds(1), "_seconds"},
+		{InstPerSec(1), "_ips"},
+		{JoulesPerInst(1), "_joules_per_inst"},
+		{float64(1), ""},
+		{42, ""},
+	}
+	for _, c := range cases {
+		if got := Suffix(c.q); got != c.want {
+			t.Errorf("Suffix(%T) = %q, want %q", c.q, got, c.want)
+		}
+	}
+}

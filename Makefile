@@ -3,7 +3,7 @@
 GO ?= go
 LINT_STATS := /tmp/ppeplint-stats.json
 
-.PHONY: all test lint fmt-check ci smoke bench bench-all experiments flagship fmt vet tools
+.PHONY: all test lint fmt-check ci smoke smoke-cache bench bench-all experiments flagship fmt vet tools
 
 all: test
 
@@ -27,6 +27,7 @@ ci: fmt-check
 	$(GO) run ./cmd/ppeplint
 	$(GO) test -race ./...
 	$(MAKE) smoke
+	$(MAKE) smoke-cache
 
 # Service-mode smoke test: the httptest endpoint suite plus the
 # end-to-end faulted-loop integration test, run fresh (-count=1) so a
@@ -34,12 +35,25 @@ ci: fmt-check
 smoke:
 	$(GO) test -count=1 -run 'TestServe|TestListenAndServe' ./internal/serve
 
-# Tick-loop microbenchmarks, summarized into a committable JSON record
-# (mean over -count=5 samples; see cmd/benchjson). The ppeplint run's
+# Trace-cache smoke test: run a reduced campaign twice into the same
+# fresh cache directory; the second run must be pure decode (misses=0
+# in the greppable stats line, see docs/CACHE.md). Bit-transparency is
+# covered separately by TestCacheEquivalence.
+smoke-cache:
+	@dir=$$(mktemp -d) && trap 'rm -rf "$$dir"' EXIT && \
+	$(GO) run ./cmd/ppep-experiments -scale 0.01 -max 3 -run sec4a-idle -cache-dir "$$dir" >/dev/null && \
+	out=$$($(GO) run ./cmd/ppep-experiments -scale 0.01 -max 3 -run sec4a-idle -cache-dir "$$dir") && \
+	echo "$$out" | grep 'trace cache' && \
+	echo "$$out" | grep -q 'misses=0 ' || { echo "smoke-cache: warm run re-simulated (want misses=0)"; exit 1; }
+
+# Tick-loop microbenchmarks plus the cold/warm trace-cache campaign
+# pair, summarized into a committable JSON record (mean over -count=5
+# samples; see cmd/benchjson — the cache benchmarks' hit/miss/bytes
+# counters land under each record's "metrics" key). The ppeplint run's
 # package count and wall time ride along under the "ppeplint" key.
 bench:
 	$(GO) run ./cmd/ppeplint -stats $(LINT_STATS)
-	$(GO) test -run xxx -bench '^(BenchmarkChipTick|BenchmarkTickN|BenchmarkEventPrediction|BenchmarkServeInterval)$$' \
+	$(GO) test -run xxx -bench '^(BenchmarkChipTick|BenchmarkTickN|BenchmarkEventPrediction|BenchmarkServeInterval|BenchmarkCampaignColdCache|BenchmarkCampaignWarmCache)$$' \
 		-benchmem -count=5 . | $(GO) run ./cmd/benchjson -lint $(LINT_STATS) > BENCH_fxsim.json
 	rm -f $(LINT_STATS)
 	cat BENCH_fxsim.json

@@ -82,6 +82,70 @@ func BenchmarkCampaign(b *testing.B) {
 	}
 }
 
+// cacheBenchOpts is the reduced campaign the cold/warm cache benchmarks
+// build: the smallest configuration that still trains the models
+// (MaxRunsPerSuite 3 gives the dynamic-power fit enough top-voltage
+// samples at Scale 0.01).
+func cacheBenchOpts(dir string) experiments.Options {
+	return experiments.Options{Scale: 0.01, MaxRunsPerSuite: 3, CacheDir: dir}
+}
+
+// reportCacheStats copies the campaign's trace-cache counters onto the
+// benchmark so BENCH_fxsim.json records the hit rate next to the
+// cold/warm timings.
+func reportCacheStats(b *testing.B, c *experiments.Campaign) {
+	st, ok := c.CacheStats()
+	if !ok {
+		b.Fatal("campaign has no cache stats")
+	}
+	b.ReportMetric(float64(st.Hits), "cache_hits")
+	b.ReportMetric(float64(st.Misses), "cache_misses")
+	b.ReportMetric(float64(st.BytesRead+st.BytesWritten), "cache_bytes")
+	if total := st.Hits + st.Misses; total > 0 {
+		b.ReportMetric(float64(st.Hits)/float64(total), "cache_hit_rate")
+	}
+}
+
+// BenchmarkCampaignColdCache measures the reduced campaign simulating
+// every cell into a fresh trace cache — the incremental engine's
+// worst case (all misses, encode + write-through on every cell).
+func BenchmarkCampaignColdCache(b *testing.B) {
+	var last *experiments.Campaign
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir := b.TempDir() // fresh per iteration: every cell must miss
+		b.StartTimer()
+		c, err := experiments.NewFXCampaign(cacheBenchOpts(dir))
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = c
+	}
+	b.StopTimer()
+	reportCacheStats(b, last)
+}
+
+// BenchmarkCampaignWarmCache measures the same campaign replayed from a
+// populated cache — pure decode, zero simulation. The cold/warm ratio is
+// the incremental engine's headline speedup (docs/CACHE.md).
+func BenchmarkCampaignWarmCache(b *testing.B) {
+	dir := b.TempDir()
+	if _, err := experiments.NewFXCampaign(cacheBenchOpts(dir)); err != nil {
+		b.Fatal(err) // populate outside the timed region
+	}
+	b.ResetTimer()
+	var last *experiments.Campaign
+	for i := 0; i < b.N; i++ {
+		c, err := experiments.NewFXCampaign(cacheBenchOpts(dir))
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = c
+	}
+	b.StopTimer()
+	reportCacheStats(b, last)
+}
+
 // BenchmarkSec3CPIPrediction regenerates the Section III result: LL-MAB
 // CPI prediction error between VF5 and VF2 (paper: 3.4% / 3.0%).
 func BenchmarkSec3CPIPrediction(b *testing.B) {

@@ -35,13 +35,17 @@ import (
 var benchLine = regexp.MustCompile(
 	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(.*)$`)
 
-var memField = regexp.MustCompile(`([0-9.]+) (B/op|allocs/op)`)
+// memField matches every "<value> <unit>" column after ns/op: the
+// -benchmem pair (B/op, allocs/op) plus any custom b.ReportMetric units
+// (cache_hits, cache_hit_rate, experiment headline metrics, ...).
+var memField = regexp.MustCompile(`([0-9.eE+-]+) ([A-Za-z_][A-Za-z0-9_./-]*)`)
 
 // result accumulates samples for one benchmark name.
 type result struct {
-	ns     []float64
-	bytes  []float64
-	allocs []float64
+	ns      []float64
+	bytes   []float64
+	allocs  []float64
+	metrics map[string][]float64
 }
 
 // summary is the per-benchmark JSON record.
@@ -50,6 +54,10 @@ type summary struct {
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	Samples     int     `json:"samples"`
+	// Metrics carries custom b.ReportMetric values by unit name — the
+	// cache benchmarks report hit/miss counts, bytes moved, and hit rate
+	// here so the incremental engine's behavior is diffable across PRs.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 func mean(xs []float64) float64 {
@@ -97,6 +105,11 @@ func main() {
 				r.bytes = append(r.bytes, v)
 			case "allocs/op":
 				r.allocs = append(r.allocs, v)
+			default:
+				if r.metrics == nil {
+					r.metrics = map[string][]float64{}
+				}
+				r.metrics[f[2]] = append(r.metrics[f[2]], v)
 			}
 		}
 	}
@@ -111,12 +124,19 @@ func main() {
 
 	out := map[string]json.RawMessage{}
 	for name, r := range results {
-		rec, _ := json.Marshal(summary{ // records are plain structs; marshal cannot fail
+		s := summary{
 			NsPerOp:     mean(r.ns),
 			BytesPerOp:  mean(r.bytes),
 			AllocsPerOp: mean(r.allocs),
 			Samples:     len(r.ns),
-		})
+		}
+		if len(r.metrics) > 0 {
+			s.Metrics = map[string]float64{}
+			for unit, vs := range r.metrics {
+				s.Metrics[unit] = mean(vs)
+			}
+		}
+		rec, _ := json.Marshal(s) // records are plain structs; marshal cannot fail
 		out[name] = rec
 	}
 	if *lintPath != "" {

@@ -5,11 +5,20 @@
 // Usage:
 //
 //	ppep-experiments [-run fig2,fig7] [-scale 0.1] [-max 8] [-phenom] [-list]
+//	                 [-cache-dir DIR] [-cache-max-mb N]
 //
 // -scale shrinks benchmark lengths for quick runs (1.0 = the full-length
 // campaign); -max caps the per-suite run count; -run selects a
 // comma-separated subset of experiments; -phenom additionally runs the
 // secondary-platform validation.
+//
+// -cache-dir enables the persistent simulation-trace cache (docs/CACHE.md):
+// every deterministic campaign cell is stored under DIR keyed by its full
+// identity, so a repeat invocation with the same configuration decodes
+// traces instead of re-simulating them, bit-identically. -cache-max-mb
+// bounds the directory size (oldest entries evicted; 0 = unbounded). The
+// cache statistics are printed after each campaign in greppable
+// key=value form (hits=… misses=…).
 package main
 
 import (
@@ -30,6 +39,9 @@ func main() {
 		phenom  = flag.Bool("phenom", false, "also run the Phenom II validation campaign")
 		list    = flag.Bool("list", false, "list experiments and exit")
 		md      = flag.String("md", "", "also write all results as a Markdown report to this file")
+
+		cacheDir   = flag.String("cache-dir", "", "persistent simulation-trace cache directory (empty = no cache)")
+		cacheMaxMB = flag.Int64("cache-max-mb", 0, "cache size cap in MiB, oldest entries evicted (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -53,7 +65,10 @@ func main() {
 		}
 	}
 
-	opts := experiments.Options{Scale: *scale, MaxRunsPerSuite: *maxRuns}
+	opts := experiments.Options{
+		Scale: *scale, MaxRunsPerSuite: *maxRuns,
+		CacheDir: *cacheDir, CacheMaxBytes: *cacheMaxMB << 20,
+	}
 	fmt.Printf("building FX-8320 campaign (scale %.2f, max/suite %d)...\n", *scale, *maxRuns)
 	start := time.Now()
 	camp, err := experiments.NewFXCampaign(opts)
@@ -61,8 +76,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("campaign ready in %.1fs: %d run traces, α=%.2f\n\n",
+	fmt.Printf("campaign ready in %.1fs: %d run traces, α=%.2f\n",
 		time.Since(start).Seconds(), len(camp.Runs), camp.Models.Dyn.Alpha)
+	printCacheStats(camp)
+	fmt.Println()
 
 	failed := 0
 	var all []*experiments.Result
@@ -120,8 +137,20 @@ func main() {
 		}
 		fmt.Println(a)
 		fmt.Println(b)
+		printCacheStats(ph)
 	}
+	// The main campaign's final counters include the lazily-collected
+	// exploration traces, so report them after all experiments ran.
+	printCacheStats(camp)
 	if failed > 0 {
 		os.Exit(1)
+	}
+}
+
+// printCacheStats emits the trace-cache counters in the greppable
+// key=value form the CI warm-cache smoke step matches on.
+func printCacheStats(c *experiments.Campaign) {
+	if st, ok := c.CacheStats(); ok {
+		fmt.Printf("trace cache [%s]: %s\n", c.Platform, st)
 	}
 }

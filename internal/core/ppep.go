@@ -100,12 +100,24 @@ func (m *Models) Analyze(iv trace.Interval) (*Report, error) {
 	rep := &Report{TempK: units.Kelvin(iv.TempK), MeasuredVF: iv.VF()}
 	fFrom := m.Table.Point(rep.MeasuredVF).Freq
 
-	for _, s := range m.Table.States() {
+	// One backing array per field serves every state's per-core slice
+	// (full-capacity sub-slices, so no state can append into the next
+	// one's cells): the report owns them, and the whole analysis performs
+	// a fixed four allocations regardless of the table size — this is
+	// the per-interval path of the service daemon (TestServeIntervalAllocs).
+	nCores := len(iv.Counters)
+	nStates := len(m.Table)
+	rep.PerVF = make([]Projection, 0, nStates)
+	cpiBuf := make([]units.CPI, nStates*nCores)
+	dynBuf := make([]units.Watts, nStates*nCores)
+	for si := 0; si < nStates; si++ {
+		s := arch.VFState(si + 1)
 		pt := m.Table.Point(s)
+		off := si * nCores
 		proj := Projection{
 			VF:          s,
-			PerCoreCPI:  make([]units.CPI, len(iv.Counters)),
-			PerCoreDynW: make([]units.Watts, len(iv.Counters)),
+			PerCoreCPI:  cpiBuf[off : off+nCores : off+nCores],
+			PerCoreDynW: dynBuf[off : off+nCores : off+nCores],
 		}
 		for c := range iv.Counters {
 			rates := iv.CoreRates(c)

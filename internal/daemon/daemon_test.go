@@ -352,3 +352,34 @@ func TestSamplerGroupRotation(t *testing.T) {
 		t.Errorf("live times %v", s.liveMS)
 	}
 }
+
+// TestServeIntervalAllocs pins the service-mode per-interval allocation
+// ceiling, the same path BenchmarkServeInterval measures: MSR window
+// sampling, diode read, PPEP analysis, and the history push, with an
+// OnInterval observer attached the way internal/serve chains one. The
+// budget is 3 allocs for the interval's owned slices (Counters,
+// PerCoreVF, Busy — the history ring retains them, so they cannot be
+// pooled), 4 fixed allocs in Models.Analyze (Report + PerVF backing
+// plus the two shared projection arrays), and the ring's boxed Record;
+// everything else must come from pre-sized or reused buffers.
+func TestServeIntervalAllocs(t *testing.T) {
+	chip := busyChip(t, false)
+	d, err := AttachOpts(chip, models(t), nil, Options{HistoryCap: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.OnInterval = func(Record) {} // stand-in for serve.Server.Observe
+	// Warm up: fill the history ring so steady state excludes ring growth.
+	if err := d.RunIntervals(10); err != nil {
+		t.Fatal(err)
+	}
+	n := testing.AllocsPerRun(50, func() {
+		if err := d.RunIntervals(1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const ceiling = 11 // was 29 before the encode/analyze buffer reuse
+	if n > ceiling {
+		t.Errorf("service interval allocates %.1f times, want <= %d", n, ceiling)
+	}
+}

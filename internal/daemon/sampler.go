@@ -208,6 +208,11 @@ func (s *Sampler) EndInterval(timeS, intervalMS, tempK float64) (trace.Interval,
 		TimeS: timeS,
 		DurS:  intervalMS / 1000,
 		TempK: tempK,
+		// Pre-sized so the per-core loop appends without growth
+		// reallocations; the interval owns these slices.
+		Counters:  make([]arch.EventVec, 0, s.numCores),
+		PerCoreVF: make([]arch.VFState, 0, s.numCores),
+		Busy:      make([]bool, 0, s.numCores),
 	}
 	for core := 0; core < s.numCores; core++ {
 		var ev arch.EventVec

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"ppep/internal/arch"
+	"ppep/internal/fingerprint"
+	"ppep/internal/fxsim"
+	"ppep/internal/simcache"
+	"ppep/internal/trace"
+	"ppep/internal/tracecodec"
+	"ppep/internal/workload"
+)
+
+// Cell definitions: each kind of simulation cell fingerprints the full
+// set of inputs that determine its trace, beyond what the platform
+// Config already covers. Field names participate in the hash, so these
+// structs are part of the cache schema — renaming a field invalidates
+// existing entries, which is the safe direction (docs/CACHE.md).
+
+// collectDef identifies a benchmark-collection (or exploration) cell:
+// the already-scaled run plus the exact run options.
+type collectDef struct {
+	Run  workload.Run
+	Opts fxsim.RunOpts
+}
+
+// idleDef identifies one idle heat/cool transient.
+type idleDef struct {
+	VF           arch.VFState
+	HeatS, CoolS float64
+}
+
+// pgDef identifies one power-gating sweep cell.
+type pgDef struct {
+	VF   arch.VFState
+	PG   bool
+	Busy int
+}
+
+// openCache attaches the persistent trace store configured by
+// Options.CacheDir; with an empty CacheDir the campaign simulates
+// everything, exactly as before the cache existed.
+func (c *Campaign) openCache() error {
+	if c.opts.CacheDir == "" {
+		return nil
+	}
+	s, err := simcache.Open(c.opts.CacheDir, simcache.Options{MaxBytes: c.opts.CacheMaxBytes})
+	if err != nil {
+		return err
+	}
+	c.cache = s
+	return nil
+}
+
+// simulate runs one simulation cell through the cache. The key is the
+// FNV-1a fingerprint of (codec schema version, platform config — which
+// includes the cell's sensor seed —, cell kind, cell definition, scale);
+// the definition embeds the VF state and, for collection cells, the
+// scaled run. With no cache configured, sim runs directly.
+func (c *Campaign) simulate(kind string, cfg fxsim.Config, def any, sim func() (*trace.Trace, error)) (*trace.Trace, error) {
+	if c.cache == nil {
+		return sim()
+	}
+	key := fingerprint.Of(uint32(tracecodec.SchemaVersion), cfg.Fingerprint(), kind, def, c.opts.Scale)
+	return c.cache.GetOrCompute(key, sim)
+}
+
+// CacheStats returns the trace-cache counters; ok is false when the
+// campaign runs without a cache.
+func (c *Campaign) CacheStats() (st simcache.Stats, ok bool) {
+	if c.cache == nil {
+		return simcache.Stats{}, false
+	}
+	return c.cache.Stats(), true
+}

@@ -7,7 +7,6 @@ package experiments
 
 import (
 	"fmt"
-	"hash/fnv"
 	"runtime"
 	"sync"
 
@@ -16,6 +15,7 @@ import (
 	"ppep/internal/core/energy"
 	"ppep/internal/core/pgidle"
 	"ppep/internal/fxsim"
+	"ppep/internal/simcache"
 	"ppep/internal/trace"
 	"ppep/internal/units"
 	"ppep/internal/workload"
@@ -35,6 +35,31 @@ type Options struct {
 	Workers int
 	// SkipPhenom omits the secondary-platform validation campaign.
 	SkipPhenom bool
+	// CacheDir, when non-empty, enables the persistent simulation-trace
+	// cache: every deterministic cell (benchmark collection, idle
+	// transients, PG sweep cells, exploration runs) is keyed by its full
+	// identity and decoded from disk on repeat runs instead of being
+	// re-simulated. Decoded traces are bit-identical to fresh simulation
+	// (docs/CACHE.md). Empty keeps today's always-simulate behavior.
+	CacheDir string
+	// CacheMaxBytes caps the cache directory's total size; oldest
+	// entries are evicted past it (0 = unbounded).
+	CacheMaxBytes int64
+}
+
+// validate rejects option values that would otherwise be silently
+// coerced (a negative Scale used to be treated as 1 by scaleBench).
+func (o Options) validate() error {
+	if o.Scale < 0 {
+		return fmt.Errorf("experiments: Options.Scale %v is negative (use 0 for the default full scale)", o.Scale)
+	}
+	if o.MaxRunsPerSuite < 0 {
+		return fmt.Errorf("experiments: Options.MaxRunsPerSuite %d is negative (use 0 for all runs)", o.MaxRunsPerSuite)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("experiments: Options.Workers %d is negative (use 0 for GOMAXPROCS)", o.Workers)
+	}
+	return nil
 }
 
 // Campaign holds a full measurement + training run for one platform.
@@ -52,6 +77,9 @@ type Campaign struct {
 	GG *energy.GreenGovernors
 
 	opts Options
+
+	// cache is the persistent trace store (nil without Options.CacheDir).
+	cache *simcache.Store
 
 	// Lazily-collected Section V exploration traces (PG enabled).
 	exploreOnce sync.Once
@@ -80,11 +108,45 @@ func scaleRun(r workload.Run, scale float64) workload.Run {
 	return out
 }
 
-// seedOf derives a stable sensor seed from a run identity.
+// seedOf derives a stable sensor seed from a run identity. The hash
+// input is the byte string "<name>@<decimal vf>" — historically produced
+// by fmt.Fprintf and now mixed directly so the campaign's fan-out loops
+// stay allocation-free; the seeds (and therefore every golden
+// fingerprint) are pinned by TestSeedOfGolden.
 func seedOf(name string, vf arch.VFState) int64 {
-	h := fnv.New64a()
-	fmt.Fprintf(h, "%s@%d", name, vf)
-	return int64(h.Sum64() & 0x7fffffffffffffff)
+	const (
+		offset = uint64(14695981039346656037)
+		prime  = uint64(1099511628211)
+	)
+	h := offset
+	for i := 0; i < len(name); i++ {
+		h = (h ^ uint64(name[i])) * prime
+	}
+	h = (h ^ '@') * prime
+	// Decimal digits of int(vf), as %d renders them.
+	v := int64(vf)
+	var buf [20]byte
+	n := len(buf)
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	for {
+		n--
+		buf[n] = byte('0' + v%10)
+		v /= 10
+		if v == 0 {
+			break
+		}
+	}
+	if neg {
+		n--
+		buf[n] = '-'
+	}
+	for ; n < len(buf); n++ {
+		h = (h ^ uint64(buf[n])) * prime
+	}
+	return int64(h & 0x7fffffffffffffff)
 }
 
 // workers resolves the configured fan-out bound.
@@ -148,6 +210,9 @@ func truncate(runs []workload.Run, n int) []workload.Run {
 // at every VF state, all benchmark combinations at all five states, the
 // power-gating sweeps, and model training.
 func NewFXCampaign(opts Options) (*Campaign, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
 	if opts.Scale == 0 {
 		opts.Scale = 1
 	}
@@ -159,11 +224,13 @@ func NewFXCampaign(opts Options) (*Campaign, error) {
 		PGSweeps: map[arch.VFState]pgidle.Sweep{},
 		opts:     opts,
 	}
+	if err := c.openCache(); err != nil {
+		return nil, err
+	}
 	// Idle heat/cool transients at every VF state, in parallel: each
 	// transient simulates an independent chip seeded from its (name, VF)
 	// identity, so results are schedule-independent.
-	if err := collectIdle(c.Idle, c.Table.States(), opts.workers(), "idle",
-		fxsim.DefaultFX8320Config); err != nil {
+	if err := c.collectIdle("idle", fxsim.DefaultFX8320Config); err != nil {
 		return nil, err
 	}
 
@@ -178,7 +245,7 @@ func NewFXCampaign(opts Options) (*Campaign, error) {
 
 	// Power-gating CU sweeps (Figure 4): the whole (VF, PG, busy-CU)
 	// grid is one flat job list over the shared worker pool.
-	sweeps, err := pgSweepAll(c.Table.States(), opts.workers())
+	sweeps, err := c.pgSweepAll(c.Table.States())
 	if err != nil {
 		return nil, err
 	}
@@ -194,6 +261,9 @@ func NewFXCampaign(opts Options) (*Campaign, error) {
 // and NPB runs at the Phenom II's four states (Section IV-B2 validates
 // "using PARSEC and NPB from VF4 to VF2").
 func NewPhenomCampaign(opts Options) (*Campaign, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
 	if opts.Scale == 0 {
 		opts.Scale = 1
 	}
@@ -204,8 +274,10 @@ func NewPhenomCampaign(opts Options) (*Campaign, error) {
 		Idle:     map[arch.VFState]*trace.Trace{},
 		opts:     opts,
 	}
-	if err := collectIdle(c.Idle, c.Table.States(), opts.workers(), "phenom-idle",
-		fxsim.DefaultPhenomIIConfig); err != nil {
+	if err := c.openCache(); err != nil {
+		return nil, err
+	}
+	if err := c.collectIdle("phenom-idle", fxsim.DefaultPhenomIIConfig); err != nil {
 		return nil, err
 	}
 	var runs []workload.Run
@@ -225,18 +297,22 @@ func NewPhenomCampaign(opts Options) (*Campaign, error) {
 	return c, c.train()
 }
 
-// collectIdle simulates the idle heat/cool transient at every VF state
-// on the shared worker pool and fills dst.
-func collectIdle(dst map[arch.VFState]*trace.Trace, states []arch.VFState,
-	workers int, seedName string, mkCfg func() fxsim.Config) error {
+// collectIdle simulates (or decodes from cache) the idle heat/cool
+// transient at every VF state on the shared worker pool and fills
+// c.Idle.
+func (c *Campaign) collectIdle(seedName string, mkCfg func() fxsim.Config) error {
+	const heatS, coolS = 40, 90
+	states := c.Table.States()
 	trs := make([]*trace.Trace, len(states))
 	errs := make([]error, len(states))
-	forEachJob(len(states), workers, func(i int) {
+	forEachJob(len(states), c.opts.workers(), func(i int) {
 		vf := states[i]
 		cfg := mkCfg()
 		cfg.SensorSeed = seedOf(seedName, vf)
-		chip := fxsim.New(cfg)
-		tr, err := chip.HeatCool(vf, 40, 90)
+		tr, err := c.simulate("idle", cfg, idleDef{VF: vf, HeatS: heatS, CoolS: coolS},
+			func() (*trace.Trace, error) {
+				return fxsim.New(cfg).HeatCool(vf, heatS, coolS)
+			})
 		if err != nil {
 			errs[i] = fmt.Errorf("experiments: %s transient at %v: %w", seedName, vf, err)
 			return
@@ -247,7 +323,7 @@ func collectIdle(dst map[arch.VFState]*trace.Trace, states []arch.VFState,
 		if err != nil {
 			return err
 		}
-		dst[states[i]] = trs[i]
+		c.Idle[states[i]] = trs[i]
 	}
 	return nil
 }
@@ -270,12 +346,15 @@ func (c *Campaign) collect(runs []workload.Run, mkCfg func() fxsim.Config) error
 		j := jobs[i]
 		cfg := mkCfg()
 		cfg.SensorSeed = seedOf(j.run.Name, j.vf)
-		chip := fxsim.New(cfg)
 		scaled := scaleRun(j.run, c.opts.Scale)
-		tr, err := chip.Collect(scaled, fxsim.RunOpts{
+		ro := fxsim.RunOpts{
 			VF: j.vf, WarmTempK: 315, Placement: fxsim.PlaceScatter,
 			MaxTimeS: 600,
-		})
+		}
+		tr, err := c.simulate("collect", cfg, collectDef{Run: scaled, Opts: ro},
+			func() (*trace.Trace, error) {
+				return fxsim.New(cfg).Collect(scaled, ro)
+			})
 		if err != nil {
 			errs[i] = fmt.Errorf("experiments: %s at %v: %w", j.run.Name, j.vf, err)
 			return
@@ -299,31 +378,48 @@ func (c *Campaign) collect(runs []workload.Run, mkCfg func() fxsim.Config) error
 
 // pgCell measures one Figure 4 sweep cell — `busy` loaded CUs with power
 // gating on or off at one VF state — returning the mean measured power
-// over four settled intervals.
-func pgCell(vf arch.VFState, pg bool, busy int) (float64, error) {
+// over four settled intervals. The five raw intervals (one settle + four
+// measured) are what the cache stores; the mean is recomputed from them
+// in interval order, so a decoded cell reproduces the bit-identical mean.
+func (c *Campaign) pgCell(vf arch.VFState, pg bool, busy int) (float64, error) {
 	cfg := fxsim.DefaultFX8320Config()
 	cfg.PowerGating = pg
 	cfg.SensorSeed = seedOf(fmt.Sprintf("pg%v-%d", pg, busy), vf)
+	tr, err := c.simulate("pg", cfg, pgDef{VF: vf, PG: pg, Busy: busy},
+		func() (*trace.Trace, error) {
+			return pgCellTrace(cfg, vf, busy)
+		})
+	if err != nil {
+		return 0, err
+	}
+	// Interval 0 is the settle; average the four measured ones.
+	var sum float64
+	for _, iv := range tr.Intervals[1:] {
+		sum += iv.MeasPowerW
+	}
+	return sum / float64(len(tr.Intervals)-1), nil
+}
+
+// pgCellTrace simulates one sweep cell, returning the settle interval
+// followed by the four measurement intervals.
+func pgCellTrace(cfg fxsim.Config, vf arch.VFState, busy int) (*trace.Trace, error) {
 	chip := fxsim.New(cfg)
 	if err := chip.SetAllPStates(vf); err != nil {
-		return 0, err
+		return nil, err
 	}
 	chip.SetTempK(318)
 	for cu := 0; cu < busy; cu++ {
 		if err := chip.Bind(cu*arch.FX8320.CoresPerCU, workload.BenchA(), true); err != nil {
-			return 0, err
+			return nil, err
 		}
 	}
-	// Settle one interval, then measure four.
-	chip.TickN(arch.DecisionIntervalMS)
-	chip.ReadInterval()
-	var sum float64
-	const n = 4
-	for k := 0; k < n; k++ {
+	tr := &trace.Trace{Run: "pgsweep", Suite: "PG", Platform: cfg.Topology.Name}
+	const intervals = 1 + 4
+	for k := 0; k < intervals; k++ {
 		chip.TickN(arch.DecisionIntervalMS)
-		sum += chip.ReadInterval().MeasPowerW
+		tr.Intervals = append(tr.Intervals, chip.ReadInterval())
 	}
-	return sum / n, nil
+	return tr, nil
 }
 
 // pgSweepAll measures the Figure 4 power-gating sweeps for every VF
@@ -332,7 +428,7 @@ func pgCell(vf arch.VFState, pg bool, busy int) (float64, error) {
 // one flat job list over the worker pool; cells are generated in the
 // serial implementation's iteration order and reassembled by index, which
 // keeps every Sweep slice bit-identical to the serial result.
-func pgSweepAll(states []arch.VFState, workers int) (map[arch.VFState]pgidle.Sweep, error) {
+func (c *Campaign) pgSweepAll(states []arch.VFState) (map[arch.VFState]pgidle.Sweep, error) {
 	type cell struct {
 		vf   arch.VFState
 		pg   bool
@@ -348,9 +444,9 @@ func pgSweepAll(states []arch.VFState, workers int) (map[arch.VFState]pgidle.Swe
 	}
 	powers := make([]units.Watts, len(cells))
 	errs := make([]error, len(cells))
-	forEachJob(len(cells), workers, func(i int) {
+	forEachJob(len(cells), c.opts.workers(), func(i int) {
 		var w float64
-		w, errs[i] = pgCell(cells[i].vf, cells[i].pg, cells[i].busy)
+		w, errs[i] = c.pgCell(cells[i].vf, cells[i].pg, cells[i].busy)
 		powers[i] = units.Watts(w)
 	})
 	out := make(map[arch.VFState]pgidle.Sweep, len(states))

@@ -30,12 +30,15 @@ func (c *Campaign) exploreTraces() (map[string]*trace.Trace, error) {
 				cfg := fxsim.DefaultFX8320Config()
 				cfg.PowerGating = true
 				cfg.SensorSeed = seedOf("explore-"+run.Name, c.Table.Top())
-				chip := fxsim.New(cfg)
 				scaled := scaleRun(run, c.opts.Scale)
-				tr, err := chip.Collect(scaled, fxsim.RunOpts{
+				ro := fxsim.RunOpts{
 					VF: c.Table.Top(), WarmTempK: 320,
 					Placement: fxsim.PlaceScatter, MaxTimeS: 600,
-				})
+				}
+				tr, err := c.simulate("explore", cfg, collectDef{Run: scaled, Opts: ro},
+					func() (*trace.Trace, error) {
+						return fxsim.New(cfg).Collect(scaled, ro)
+					})
 				if err != nil {
 					c.exploreErr = fmt.Errorf("experiments: explore run %s: %w", run.Name, err)
 					return

@@ -1,0 +1,40 @@
+package fxsim
+
+import "testing"
+
+func TestConfigFingerprint(t *testing.T) {
+	a := DefaultFX8320Config()
+	b := DefaultFX8320Config()
+	// Default constructors allocate fresh Power/NB structs; equal content
+	// behind distinct pointers must fingerprint equal.
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical configs fingerprint differently")
+	}
+	if a.Fingerprint() == DefaultPhenomIIConfig().Fingerprint() {
+		t.Fatal("FX and Phenom configs fingerprint equal")
+	}
+
+	b.SensorSeed++
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("sensor seed change not reflected in fingerprint")
+	}
+
+	b = DefaultFX8320Config()
+	b.PowerGating = true
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("PowerGating change not reflected in fingerprint")
+	}
+
+	// A change behind the shared Power pointer must change the hash.
+	b = DefaultFX8320Config()
+	b.Power.BaseW += 0.001
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("power-truth change behind pointer not reflected in fingerprint")
+	}
+
+	b = DefaultFX8320Config()
+	b.NB.BandwidthGBs *= 2
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("NB change behind pointer not reflected in fingerprint")
+	}
+}

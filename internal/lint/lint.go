@@ -85,6 +85,9 @@ func DefaultConfig(modulePath string) Config {
 		"internal/sensor",
 		"internal/stats",
 		"internal/workload",
+		"internal/fingerprint",
+		"internal/tracecodec",
+		"internal/simcache",
 	} {
 		pkgs[path.Join(modulePath, p)] = true
 	}

@@ -186,14 +186,15 @@ func TestRepoClean(t *testing.T) {
 	}
 	// The tree's sanctioned exceptions stay visible here: update this
 	// count deliberately when adding or removing an //ppep:allow.
-	if got := m.Suppressed(); got != 35 {
-		t.Errorf("suppressed findings = %d, want 35 (did an //ppep:allow come or go?)", got)
+	if got := m.Suppressed(); got != 36 {
+		t.Errorf("suppressed findings = %d, want 36 (did an //ppep:allow come or go?)", got)
 	}
-	// Per-analyzer: the hotpath exceptions predate unitcheck; the rest
+	// Per-analyzer: the hotpath exceptions are the two legacy tick-path
+	// sites plus the trace encoder's amortized buffer growth; the rest
 	// are the sanctioned dimensionless sites (docs/UNITS.md).
 	by := m.SuppressedBy()
-	if by["hotpath"] != 2 || by["unitcheck"] != 33 {
-		t.Errorf("suppressed by analyzer = %v, want hotpath:2 unitcheck:33", by)
+	if by["hotpath"] != 3 || by["unitcheck"] != 33 {
+		t.Errorf("suppressed by analyzer = %v, want hotpath:3 unitcheck:33", by)
 	}
 }
 
@@ -213,6 +214,7 @@ func TestHotRootsAnnotated(t *testing.T) {
 		"(*ppep/internal/fxsim.Chip).TickN",
 		"(*ppep/internal/uarch.Core).Step",
 		"ppep/internal/mem.LeadingLoadNSPerInst",
+		"(*ppep/internal/tracecodec.Encoder).Encode",
 	} {
 		fn := m.Funcs[name]
 		if fn == nil {

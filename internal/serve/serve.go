@@ -13,14 +13,14 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
-	"sort"
 	"strconv"
-	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -116,14 +116,32 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 	}
 }
 
+// bufPool recycles response-encode buffers across requests: the
+// /metrics exposition and the JSON report snapshots are rendered into a
+// pooled buffer and written out in one call, so a scrape-heavy client
+// cannot make the server re-grow encode buffers on every request.
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+func getBuf() *bytes.Buffer {
+	b := bufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	return b
+}
+
 // writeJSON renders v with a 200 (or the given status).
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	b := getBuf()
+	defer bufPool.Put(b)
+	enc := json.NewEncoder(b)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
 	// best-effort: the client may have gone away mid-response
-	_ = enc.Encode(v)
+	_, _ = w.Write(b.Bytes())
 }
 
 // handleReports returns the retained history, oldest first. ?n=K limits
@@ -225,34 +243,35 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // report's per-VF projections as gauges plus the daemon's operational
 // counters.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	var b strings.Builder
+	b := getBuf()
+	defer bufPool.Put(b)
 	rec, ok := s.d.Latest()
 	if ok {
-		gauge(&b, "ppep_measured_power", "Sensor-measured chip power over the last interval.",
+		gauge(b, "ppep_measured_power", "Sensor-measured chip power over the last interval.",
 			units.Watts(rec.Interval.MeasPowerW))
-		gauge(&b, "ppep_diode_temp", "Socket thermal diode reading.",
+		gauge(b, "ppep_diode_temp", "Socket thermal diode reading.",
 			units.Kelvin(rec.Interval.TempK).Celsius())
-		gauge(&b, "ppep_measured_freq", "Core clock of the VF state the last interval ran at.",
+		gauge(b, "ppep_measured_freq", "Core clock of the VF state the last interval ran at.",
 			s.d.Models.Table.Point(rec.Report.MeasuredVF).Freq.MegaHertz())
-		gauge(&b, "ppep_measured_vf_state", "VF state the last interval ran at.",
+		gauge(b, "ppep_measured_vf_state", "VF state the last interval ran at.",
 			float64(rec.Report.MeasuredVF))
-		gauge(&b, "ppep_interval_seq", "Sequence number of the last completed interval.",
+		gauge(b, "ppep_interval_seq", "Sequence number of the last completed interval.",
 			float64(rec.Seq))
-		perVF(&b, "ppep_predicted_chip", "Predicted chip power at each VF state.",
+		perVF(b, "ppep_predicted_chip", "Predicted chip power at each VF state.",
 			rec, func(p core.Projection) units.Watts { return p.ChipW })
-		perVF(&b, "ppep_predicted_idle", "Predicted idle power at each VF state.",
+		perVF(b, "ppep_predicted_idle", "Predicted idle power at each VF state.",
 			rec, func(p core.Projection) units.Watts { return p.IdleW })
-		perVF(&b, "ppep_predicted", "Predicted chip-wide instructions per second at each VF state.",
+		perVF(b, "ppep_predicted", "Predicted chip-wide instructions per second at each VF state.",
 			rec, func(p core.Projection) units.InstPerSec { return p.TotalIPS })
-		perVF(&b, "ppep_predicted_interval", "Predicted energy of one decision interval at each VF state.",
+		perVF(b, "ppep_predicted_interval", "Predicted energy of one decision interval at each VF state.",
 			rec, func(p core.Projection) units.Joules { return p.IntervalEnergyJ })
 	}
 	for _, c := range counterRows(s.d.Counters().Snapshot()) {
-		counter(&b, c.name, c.help, c.val)
+		counter(b, c.name, c.help, c.val)
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	// best-effort: the client may have gone away mid-response
-	_, _ = w.Write([]byte(b.String()))
+	_, _ = w.Write(b.Bytes())
 }
 
 // counterRow is one operational counter's exposition metadata.
@@ -261,38 +280,39 @@ type counterRow struct {
 	val        uint64
 }
 
-// counterRows maps the daemon counter snapshot onto metric rows.
-func counterRows(c daemon.CounterSnapshot) []counterRow {
-	rows := []counterRow{
-		{"ppep_intervals_total", "Completed (sampled and analyzed) decision intervals.", c.Intervals},
-		{"ppep_skipped_intervals_total", "Intervals abandoned after exhausting the device retry budget.", c.SkippedIntervals},
+// counterRows maps the daemon counter snapshot onto metric rows. The
+// rows are listed in metric-name order (the Prometheus exposition is
+// sorted) so no per-request sort or heap allocation is needed; the
+// ordering is pinned by TestCounterRowsSorted.
+func counterRows(c daemon.CounterSnapshot) [8]counterRow {
+	return [8]counterRow{
 		{"ppep_analyze_errors_total", "Intervals rejected by the PPEP analysis pipeline.", c.AnalyzeErrors},
-		{"ppep_msr_read_retries_total", "Transient MSR faults that were retried.", c.MSRRetries},
-		{"ppep_msr_read_failures_total", "MSR operations that failed after the full retry budget.", c.MSRFailures},
-		{"ppep_hwmon_read_retries_total", "Transient thermal diode faults that were retried.", c.HwmonRetries},
 		{"ppep_hwmon_read_failures_total", "Diode reads that failed after the full retry budget.", c.HwmonFailures},
+		{"ppep_hwmon_read_retries_total", "Transient thermal diode faults that were retried.", c.HwmonRetries},
+		{"ppep_intervals_total", "Completed (sampled and analyzed) decision intervals.", c.Intervals},
+		{"ppep_msr_read_failures_total", "MSR operations that failed after the full retry budget.", c.MSRFailures},
+		{"ppep_msr_read_retries_total", "Transient MSR faults that were retried.", c.MSRRetries},
 		{"ppep_policy_rejects_total", "DVFS policy decisions the chip rejected.", c.PolicyRejects},
+		{"ppep_skipped_intervals_total", "Intervals abandoned after exhausting the device retry budget.", c.SkippedIntervals},
 	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
-	return rows
 }
 
 // gauge renders one gauge. The metric name is the base plus the
 // canonical unit suffix of the value's type (units.Suffix), so a name
 // can never disagree with the unit of the value it exports; plain
 // float64 values (state numbers, sequence counters) get no suffix.
-func gauge[T ~float64](b *strings.Builder, base, help string, v T) {
+func gauge[T ~float64](b *bytes.Buffer, base, help string, v T) {
 	name := base + units.Suffix(v)
 	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, float64(v))
 }
 
-func counter(b *strings.Builder, name, help string, v uint64) {
+func counter(b *bytes.Buffer, name, help string, v uint64) {
 	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 }
 
 // perVF renders one gauge with a vf label per projection, with the unit
 // suffix derived from the projection field's type like gauge.
-func perVF[T ~float64](b *strings.Builder, base, help string, rec daemon.Record, f func(core.Projection) T) {
+func perVF[T ~float64](b *bytes.Buffer, base, help string, rec daemon.Record, f func(core.Projection) T) {
 	name := base + units.Suffix(T(0))
 	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
 	for _, p := range rec.Report.PerVF {

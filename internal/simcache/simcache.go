@@ -1,0 +1,270 @@
+// Package simcache is the persistent, content-addressed store for
+// simulation traces. The campaign layer (internal/experiments) keys
+// every deterministic simulation cell — benchmark collection, idle
+// transients, power-gating sweep cells, Section V exploration runs —
+// by a fingerprint of its full identity and asks the store to either
+// decode the cached trace or run the simulation and persist the result.
+//
+// Properties (docs/CACHE.md):
+//
+//   - Content-addressed: one file per key, dir/<%016x key>.pptc, in the
+//     tracecodec binary format. Keys already encode the codec schema
+//     version, so a layout change simply misses and re-simulates.
+//   - Atomic writes: entries are written to a temp file in the cache
+//     directory and renamed into place, so readers (including other
+//     processes) never observe a partial entry.
+//   - Corruption-tolerant: an entry that fails to decode is counted,
+//     best-effort removed, and treated as a miss — the cache can never
+//     turn a damaged file into a wrong result.
+//   - Singleflight: concurrent GetOrCompute calls for the same key
+//     simulate once; followers block and share the leader's trace.
+//   - Fail-open: write failures (read-only disk, ENOSPC) are counted
+//     but never fail the campaign; the computed trace is returned.
+//
+// Cached traces are shared and must be treated as immutable by callers.
+package simcache
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"ppep/internal/trace"
+	"ppep/internal/tracecodec"
+)
+
+// Options configures a Store.
+type Options struct {
+	// MaxBytes caps the total size of cache entries; after each write
+	// the oldest entries (by modification time) are evicted until the
+	// total is back under the cap. 0 means unbounded.
+	MaxBytes int64
+}
+
+// Stats is a snapshot of the store's counters.
+type Stats struct {
+	Hits         int64 // entries served by decoding a cached file
+	Misses       int64 // absent entries (simulated and, normally, written)
+	Corrupt      int64 // undecodable entries (damage or schema mismatch), treated as misses
+	Coalesced    int64 // calls that shared another in-flight computation
+	Evicted      int64 // entries removed by the MaxBytes cap
+	WriteErrors  int64 // failed entry writes (the campaign proceeds regardless)
+	BytesRead    int64 // encoded bytes decoded from cache
+	BytesWritten int64 // encoded bytes persisted
+}
+
+// Store is an on-disk trace cache. It is safe for concurrent use.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	inflight map[uint64]*flight
+
+	evictMu sync.Mutex
+
+	encoders sync.Pool
+
+	hits, misses, corrupt, coalesced atomic.Int64
+	evicted, writeErrors             atomic.Int64
+	bytesRead, bytesWritten          atomic.Int64
+}
+
+type flight struct {
+	done chan struct{}
+	tr   *trace.Trace
+	err  error
+}
+
+// Open creates the cache directory if needed and returns a Store over it.
+func Open(dir string, opts Options) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("simcache: empty cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("simcache: %w", err)
+	}
+	return &Store{
+		dir:      dir,
+		opts:     opts,
+		inflight: map[uint64]*flight{},
+		encoders: sync.Pool{New: func() any { return new(tracecodec.Encoder) }},
+	}, nil
+}
+
+// Dir returns the cache directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) path(key uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%016x.pptc", key))
+}
+
+// get attempts a disk read. It returns (nil, false) on any miss —
+// absent, unreadable, or undecodable — after updating the counters.
+func (s *Store) get(key uint64) (*trace.Trace, bool) {
+	data, err := os.ReadFile(s.path(key))
+	if err != nil {
+		return nil, false
+	}
+	tr, err := tracecodec.Decode(data)
+	if err != nil {
+		s.corrupt.Add(1)
+		// best-effort: a corrupt entry would miss forever; campaign correctness does not depend on the remove
+		_ = os.Remove(s.path(key))
+		return nil, false
+	}
+	s.hits.Add(1)
+	s.bytesRead.Add(int64(len(data)))
+	return tr, true
+}
+
+// GetOrCompute returns the cached trace for key, or runs compute,
+// persists its result, and returns it. Concurrent calls with the same
+// key compute once. compute errors are returned verbatim and nothing
+// is cached for them.
+func (s *Store) GetOrCompute(key uint64, compute func() (*trace.Trace, error)) (*trace.Trace, error) {
+	if tr, ok := s.get(key); ok {
+		return tr, nil
+	}
+
+	s.mu.Lock()
+	if f, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		s.coalesced.Add(1)
+		<-f.done
+		return f.tr, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	s.inflight[key] = f
+	s.mu.Unlock()
+
+	// Leader: re-check the disk (a previous leader in this or another
+	// process may have finished between our miss and registration).
+	tr, ok := s.get(key)
+	if !ok {
+		s.misses.Add(1)
+		tr, f.err = compute()
+		if f.err == nil {
+			s.put(key, tr)
+		}
+	}
+	f.tr = tr
+
+	s.mu.Lock()
+	delete(s.inflight, key)
+	s.mu.Unlock()
+	close(f.done)
+	return f.tr, f.err
+}
+
+// put persists one entry via temp-file + rename. Failures are counted,
+// never fatal: the cache fails open.
+func (s *Store) put(key uint64, tr *trace.Trace) {
+	enc := s.encoders.Get().(*tracecodec.Encoder)
+	defer s.encoders.Put(enc)
+	data, err := enc.Encode(tr)
+	if err != nil {
+		s.writeErrors.Add(1)
+		return
+	}
+	tmp, err := os.CreateTemp(s.dir, ".tmp-*")
+	if err != nil {
+		s.writeErrors.Add(1)
+		return
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), s.path(key))
+	}
+	if werr != nil {
+		s.writeErrors.Add(1)
+		// best-effort: the failed temp file is garbage either way; rename failure already counted
+		_ = os.Remove(tmp.Name())
+		return
+	}
+	s.bytesWritten.Add(int64(len(data)))
+	if s.opts.MaxBytes > 0 {
+		s.evict(s.path(key))
+	}
+}
+
+// evict removes oldest-first entries until the directory is under
+// MaxBytes, never touching keep (the entry just written). Concurrent
+// evictions coalesce: if one is running, later writers skip theirs.
+func (s *Store) evict(keep string) {
+	if !s.evictMu.TryLock() {
+		return
+	}
+	defer s.evictMu.Unlock()
+
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	type ent struct {
+		path string
+		info fs.FileInfo
+	}
+	var es []ent
+	var total int64
+	for _, de := range entries {
+		if de.IsDir() || filepath.Ext(de.Name()) != ".pptc" {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		total += info.Size()
+		es = append(es, ent{path: filepath.Join(s.dir, de.Name()), info: info})
+	}
+	sort.Slice(es, func(i, j int) bool {
+		ti, tj := es[i].info.ModTime(), es[j].info.ModTime()
+		if !ti.Equal(tj) {
+			return ti.Before(tj)
+		}
+		return es[i].path < es[j].path
+	})
+	for _, e := range es {
+		if total <= s.opts.MaxBytes {
+			return
+		}
+		if e.path == keep {
+			continue
+		}
+		if os.Remove(e.path) == nil {
+			total -= e.info.Size()
+			s.evicted.Add(1)
+		}
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Hits:         s.hits.Load(),
+		Misses:       s.misses.Load(),
+		Corrupt:      s.corrupt.Load(),
+		Coalesced:    s.coalesced.Load(),
+		Evicted:      s.evicted.Load(),
+		WriteErrors:  s.writeErrors.Load(),
+		BytesRead:    s.bytesRead.Load(),
+		BytesWritten: s.bytesWritten.Load(),
+	}
+}
+
+// String renders the counters in the machine-greppable key=value form
+// the CI warm-cache smoke step matches on.
+func (st Stats) String() string {
+	return fmt.Sprintf("hits=%d misses=%d corrupt=%d coalesced=%d evicted=%d write_errors=%d bytes_read=%d bytes_written=%d",
+		st.Hits, st.Misses, st.Corrupt, st.Coalesced, st.Evicted, st.WriteErrors, st.BytesRead, st.BytesWritten)
+}

@@ -1,0 +1,321 @@
+package simcache
+
+import (
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ppep/internal/arch"
+	"ppep/internal/trace"
+	"ppep/internal/tracecodec"
+)
+
+func testTrace(run string, n int) *trace.Trace {
+	t := &trace.Trace{Run: run, Suite: "SPE", Platform: "fx8320"}
+	for i := 0; i < n; i++ {
+		t.Intervals = append(t.Intervals, trace.Interval{
+			TimeS: float64(i) * 0.2, DurS: 0.2, TempK: 315, MeasPowerW: 80,
+			TruePowerW: 81, TrueCoreW: 60, TrueNBW: 12,
+			PerCoreVF:    []arch.VFState{5, 5},
+			Counters:     []arch.EventVec{{1e9, 2e8}, {3e9, 4e8}},
+			Busy:         []bool{true, false},
+			TrueCoreDynW: []float64{7.5, 0.1},
+		})
+	}
+	return t
+}
+
+func mustOpen(t *testing.T, opts Options) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestMissThenHit(t *testing.T) {
+	s := mustOpen(t, Options{})
+	want := testTrace("433 x2", 5)
+	computes := 0
+	get := func() (*trace.Trace, error) {
+		tr, err := s.GetOrCompute(42, func() (*trace.Trace, error) {
+			computes++
+			return want, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr, nil
+	}
+
+	tr1, _ := get()
+	if computes != 1 || tr1.Fingerprint() != want.Fingerprint() {
+		t.Fatalf("cold get: computes=%d", computes)
+	}
+	tr2, _ := get()
+	if computes != 1 {
+		t.Fatalf("warm get recomputed (computes=%d)", computes)
+	}
+	if tr2.Fingerprint() != want.Fingerprint() {
+		t.Fatalf("warm get fingerprint differs from original")
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Corrupt != 0 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss", st)
+	}
+	if st.BytesWritten == 0 || st.BytesRead != st.BytesWritten {
+		t.Fatalf("bytes read/written mismatch: %+v", st)
+	}
+}
+
+func TestDistinctKeysDistinctEntries(t *testing.T) {
+	s := mustOpen(t, Options{})
+	a := testTrace("a", 1)
+	b := testTrace("b", 2)
+	ra, _ := s.GetOrCompute(1, func() (*trace.Trace, error) { return a, nil })
+	rb, _ := s.GetOrCompute(2, func() (*trace.Trace, error) { return b, nil })
+	if ra.Run != "a" || rb.Run != "b" {
+		t.Fatalf("wrong traces back: %q %q", ra.Run, rb.Run)
+	}
+	ra2, _ := s.GetOrCompute(1, func() (*trace.Trace, error) { t.Fatal("recompute"); return nil, nil })
+	if ra2.Fingerprint() != a.Fingerprint() {
+		t.Fatalf("key 1 returned wrong trace")
+	}
+}
+
+func TestCorruptEntryIsMissAndRecovers(t *testing.T) {
+	s := mustOpen(t, Options{})
+	want := testTrace("x", 3)
+	if _, err := s.GetOrCompute(7, func() (*trace.Trace, error) { return want, nil }); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the entry on disk.
+	path := s.path(7)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	computes := 0
+	tr, err := s.GetOrCompute(7, func() (*trace.Trace, error) { computes++; return want, nil })
+	if err != nil || computes != 1 {
+		t.Fatalf("corrupt entry: err=%v computes=%d, want recompute", err, computes)
+	}
+	if tr.Fingerprint() != want.Fingerprint() {
+		t.Fatalf("recomputed trace wrong")
+	}
+	if st := s.Stats(); st.Corrupt != 1 {
+		t.Fatalf("stats = %+v, want Corrupt=1", st)
+	}
+	// The rewritten entry must now hit.
+	if _, err := s.GetOrCompute(7, func() (*trace.Trace, error) { t.Fatal("recompute"); return nil, nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchemaMismatchIsMiss(t *testing.T) {
+	s := mustOpen(t, Options{})
+	want := testTrace("x", 2)
+	if _, err := s.GetOrCompute(9, func() (*trace.Trace, error) { return want, nil }); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(s.path(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.LittleEndian.PutUint32(data[4:], tracecodec.SchemaVersion+1)
+	if err := os.WriteFile(s.path(9), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	computes := 0
+	if _, err := s.GetOrCompute(9, func() (*trace.Trace, error) { computes++; return want, nil }); err != nil || computes != 1 {
+		t.Fatalf("schema mismatch: err=%v computes=%d, want miss+recompute", err, computes)
+	}
+	if st := s.Stats(); st.Corrupt != 1 {
+		t.Fatalf("stats = %+v, want Corrupt=1 (schema mismatch counts as undecodable)", st)
+	}
+}
+
+func TestSingleflight(t *testing.T) {
+	s := mustOpen(t, Options{})
+	var computes atomic.Int64
+	release := make(chan struct{})
+	want := testTrace("sf", 2)
+
+	const callers = 8
+	var wg sync.WaitGroup
+	results := make([]*trace.Trace, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tr, err := s.GetOrCompute(11, func() (*trace.Trace, error) {
+				computes.Add(1)
+				<-release
+				return want, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = tr
+		}(i)
+	}
+	// Let the goroutines pile up on the flight, then release the leader.
+	for s.Stats().Coalesced < callers-1 {
+		if computes.Load() > 1 {
+			break
+		}
+	}
+	close(release)
+	wg.Wait()
+
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times for one key, want 1", n)
+	}
+	for i, tr := range results {
+		if tr == nil || tr.Fingerprint() != want.Fingerprint() {
+			t.Fatalf("caller %d got wrong trace", i)
+		}
+	}
+	if st := s.Stats(); st.Coalesced != callers-1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want Coalesced=%d Misses=1", st, callers-1)
+	}
+}
+
+func TestComputeErrorNotCached(t *testing.T) {
+	s := mustOpen(t, Options{})
+	boom := errors.New("boom")
+	if _, err := s.GetOrCompute(3, func() (*trace.Trace, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	computes := 0
+	want := testTrace("ok", 1)
+	tr, err := s.GetOrCompute(3, func() (*trace.Trace, error) { computes++; return want, nil })
+	if err != nil || computes != 1 || tr.Fingerprint() != want.Fingerprint() {
+		t.Fatalf("failed compute must not poison the key: err=%v computes=%d", err, computes)
+	}
+}
+
+func TestNoTempFilesLeftBehind(t *testing.T) {
+	s := mustOpen(t, Options{})
+	for k := uint64(0); k < 5; k++ {
+		key := k
+		if _, err := s.GetOrCompute(key, func() (*trace.Trace, error) { return testTrace("t", int(key)+1), nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(s.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".tmp-") {
+			t.Fatalf("leftover temp file %s", e.Name())
+		}
+		if filepath.Ext(e.Name()) != ".pptc" {
+			t.Fatalf("unexpected file %s in cache dir", e.Name())
+		}
+	}
+	if len(entries) != 5 {
+		t.Fatalf("%d entries, want 5", len(entries))
+	}
+}
+
+func TestEviction(t *testing.T) {
+	dir := t.TempDir()
+	// Size the cap to hold roughly two entries.
+	probe, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := probe.GetOrCompute(999, func() (*trace.Trace, error) { return testTrace("probe", 4), nil }); err != nil {
+		t.Fatal(err)
+	}
+	entrySize := probe.Stats().BytesWritten
+	if err := os.Remove(probe.path(999)); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := Open(dir, Options{MaxBytes: 2*entrySize + entrySize/2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 4; k++ {
+		key := k
+		if _, err := s.GetOrCompute(key, func() (*trace.Trace, error) { return testTrace("e", 4), nil }); err != nil {
+			t.Fatal(err)
+		}
+		// Distinct mtimes so the oldest-first order is deterministic.
+		tick(t, s.path(key), int(key))
+	}
+	st := s.Stats()
+	if st.Evicted == 0 {
+		t.Fatalf("stats = %+v, want evictions under a 2.5-entry cap after 4 writes", st)
+	}
+	// The newest entry must have survived.
+	if _, err := os.Stat(s.path(3)); err != nil {
+		t.Fatalf("newest entry evicted: %v", err)
+	}
+	var total int64
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		info, err := e.Info()
+		if err == nil {
+			total += info.Size()
+		}
+	}
+	if total > s.opts.MaxBytes {
+		t.Fatalf("cache %d bytes, cap %d", total, s.opts.MaxBytes)
+	}
+}
+
+// tick pushes a file's mtime i seconds into the past-ordered sequence so
+// eviction order is stable even on coarse-mtime filesystems.
+func tick(t *testing.T, path string, i int) {
+	t.Helper()
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt := info.ModTime().Add(-time.Hour).Add(time.Duration(i) * 10 * time.Second)
+	if err := os.Chtimes(path, mt, mt); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteFailureFailsOpen(t *testing.T) {
+	if os.Getuid() == 0 {
+		t.Skip("running as root: directory permissions are not enforced")
+	}
+	s := mustOpen(t, Options{})
+	if err := os.Chmod(s.Dir(), 0o555); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		// best-effort: restore so t.TempDir cleanup can remove the directory
+		_ = os.Chmod(s.Dir(), 0o755)
+	}()
+	want := testTrace("ro", 1)
+	tr, err := s.GetOrCompute(5, func() (*trace.Trace, error) { return want, nil })
+	if err != nil || tr.Fingerprint() != want.Fingerprint() {
+		t.Fatalf("read-only cache must still return the computed trace: err=%v", err)
+	}
+	if st := s.Stats(); st.WriteErrors == 0 {
+		t.Fatalf("stats = %+v, want WriteErrors > 0", st)
+	}
+}
+
+func TestOpenRejectsEmptyDir(t *testing.T) {
+	if _, err := Open("", Options{}); err == nil {
+		t.Fatal("Open(\"\") must error")
+	}
+}

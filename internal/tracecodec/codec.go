@@ -1,0 +1,341 @@
+// Package tracecodec is a compact, versioned binary codec for
+// trace.Trace values, used by the on-disk simulation cache
+// (internal/simcache). Floats round-trip through their raw IEEE-754
+// bits, so a decoded trace is bit-identical to the freshly simulated
+// one — Trace.Fingerprint of the decode equals the original, which is
+// what lets the cache stay invisible to the golden-equivalence tests.
+//
+// Layout (all integers little-endian):
+//
+//	magic "PPTC" | u32 SchemaVersion | u32 arch.NumEvents
+//	u16-len Run | u16-len Suite | u16-len Platform
+//	u32 nIntervals
+//	per interval: u32 frameLen | frame
+//
+// and each frame is
+//
+//	f64 ×7 (TimeS DurS TempK MeasPowerW TruePowerW TrueCoreW TrueNBW)
+//	u32 nVF   | u64 ×nVF        (two's-complement VFState)
+//	u32 nCtr  | f64 ×NumEvents ×nCtr
+//	u32 nBusy | byte ×nBusy     (strictly 0 or 1)
+//	u32 nDyn  | f64 ×nDyn
+//
+// Decode never panics on truncated or corrupted input and never
+// returns a partial trace: any structural inconsistency yields an
+// error wrapping ErrCorrupt (or ErrSchema for a version/event-count
+// mismatch), and the caller treats it as a cache miss.
+package tracecodec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"ppep/internal/arch"
+	"ppep/internal/trace"
+)
+
+// SchemaVersion identifies the encoding. Bump it whenever the layout,
+// the fingerprint algorithm feeding cache keys, or the semantics of any
+// encoded field change; old cache entries then decode as ErrSchema and
+// are re-simulated (docs/CACHE.md).
+const SchemaVersion = 1
+
+const magic = "PPTC"
+
+var (
+	// ErrSchema reports an entry written by a different codec schema or
+	// event-vector width. It is a mismatch, not damage.
+	ErrSchema = errors.New("tracecodec: schema mismatch")
+	// ErrCorrupt reports structurally inconsistent bytes (truncation,
+	// bad magic, counts that exceed the data present).
+	ErrCorrupt = errors.New("tracecodec: corrupt entry")
+	// ErrTooLong reports a trace whose Run/Suite/Platform name exceeds
+	// the u16 length prefix; campaign names are all far shorter.
+	ErrTooLong = errors.New("tracecodec: name exceeds 64 KiB")
+)
+
+const (
+	headerFixed = 4 + 4 + 4 + 3*2 + 4 // magic, version, nEvents, 3 name lengths, nIntervals
+	frameFixed  = 7*8 + 4*4           // 7 floats + 4 counts
+)
+
+// An Encoder carries a reusable scratch buffer across Encode calls; the
+// returned slice aliases it and is valid until the next Encode. The
+// zero value is ready to use.
+type Encoder struct {
+	buf []byte
+}
+
+func encodedSize(t *trace.Trace) int {
+	n := headerFixed + len(t.Run) + len(t.Suite) + len(t.Platform)
+	for i := range t.Intervals {
+		n += 4 + frameSize(&t.Intervals[i])
+	}
+	return n
+}
+
+func frameSize(iv *trace.Interval) int {
+	return frameFixed +
+		8*len(iv.PerCoreVF) +
+		8*arch.NumEvents*len(iv.Counters) +
+		len(iv.Busy) +
+		8*len(iv.TrueCoreDynW)
+}
+
+// ensure grows the scratch buffer to at least n usable bytes. It is the
+// encoder's sanctioned amortized slow path: after the first call at a
+// given campaign shape, subsequent Encodes reuse the buffer.
+func (e *Encoder) ensure(n int) {
+	if cap(e.buf) < n {
+		e.buf = make([]byte, n)
+	}
+	e.buf = e.buf[:cap(e.buf)]
+}
+
+// Encode serializes t into the encoder's scratch buffer and returns the
+// encoded bytes (aliasing the buffer — copy before the next Encode if
+// retained). The error is non-nil only for names longer than 64 KiB.
+//
+//ppep:hotpath
+func (e *Encoder) Encode(t *trace.Trace) ([]byte, error) {
+	if len(t.Run) > math.MaxUint16 || len(t.Suite) > math.MaxUint16 || len(t.Platform) > math.MaxUint16 {
+		return nil, ErrTooLong
+	}
+	// Size on its own line: the allow below must cover only ensure's
+	// amortized growth, while encodedSize stays hotpath-verified.
+	n := encodedSize(t)
+	e.ensure(n) //ppep:allow hotpath amortized buffer growth; steady-state Encodes reuse the scratch buffer
+	b := e.buf
+	off := copy(b, magic)
+	binary.LittleEndian.PutUint32(b[off:], SchemaVersion)
+	off += 4
+	binary.LittleEndian.PutUint32(b[off:], arch.NumEvents)
+	off += 4
+	off = putName(b, off, t.Run)
+	off = putName(b, off, t.Suite)
+	off = putName(b, off, t.Platform)
+	binary.LittleEndian.PutUint32(b[off:], uint32(len(t.Intervals)))
+	off += 4
+	for i := range t.Intervals {
+		iv := &t.Intervals[i]
+		binary.LittleEndian.PutUint32(b[off:], uint32(frameSize(iv)))
+		off += 4
+		off = putFrame(b, off, iv)
+	}
+	return b[:off], nil
+}
+
+func putName(b []byte, off int, s string) int {
+	binary.LittleEndian.PutUint16(b[off:], uint16(len(s)))
+	off += 2
+	return off + copy(b[off:], s)
+}
+
+func putF64(b []byte, off int, x float64) int {
+	binary.LittleEndian.PutUint64(b[off:], math.Float64bits(x))
+	return off + 8
+}
+
+func putFrame(b []byte, off int, iv *trace.Interval) int {
+	off = putF64(b, off, iv.TimeS)
+	off = putF64(b, off, iv.DurS)
+	off = putF64(b, off, iv.TempK)
+	off = putF64(b, off, iv.MeasPowerW)
+	off = putF64(b, off, iv.TruePowerW)
+	off = putF64(b, off, iv.TrueCoreW)
+	off = putF64(b, off, iv.TrueNBW)
+	binary.LittleEndian.PutUint32(b[off:], uint32(len(iv.PerCoreVF)))
+	off += 4
+	for _, s := range iv.PerCoreVF {
+		binary.LittleEndian.PutUint64(b[off:], uint64(int64(s)))
+		off += 8
+	}
+	binary.LittleEndian.PutUint32(b[off:], uint32(len(iv.Counters)))
+	off += 4
+	for ci := range iv.Counters {
+		for _, x := range iv.Counters[ci] {
+			off = putF64(b, off, x)
+		}
+	}
+	binary.LittleEndian.PutUint32(b[off:], uint32(len(iv.Busy)))
+	off += 4
+	for _, busy := range iv.Busy {
+		if busy {
+			b[off] = 1
+		} else {
+			b[off] = 0
+		}
+		off++
+	}
+	binary.LittleEndian.PutUint32(b[off:], uint32(len(iv.TrueCoreDynW)))
+	off += 4
+	for _, w := range iv.TrueCoreDynW {
+		off = putF64(b, off, w)
+	}
+	return off
+}
+
+// reader is a bounds-checked cursor; every take sets ok=false instead
+// of slicing past the end, so corrupt input degrades to an error.
+type reader struct {
+	b   []byte
+	off int
+	ok  bool
+}
+
+func (r *reader) take(n int) []byte {
+	if !r.ok || n < 0 || len(r.b)-r.off < n {
+		r.ok = false
+		return nil
+	}
+	s := r.b[r.off : r.off+n]
+	r.off += n
+	return s
+}
+
+func (r *reader) u16() uint16 {
+	if s := r.take(2); s != nil {
+		return binary.LittleEndian.Uint16(s)
+	}
+	return 0
+}
+
+func (r *reader) u32() uint32 {
+	if s := r.take(4); s != nil {
+		return binary.LittleEndian.Uint32(s)
+	}
+	return 0
+}
+
+func (r *reader) u64() uint64 {
+	if s := r.take(8); s != nil {
+		return binary.LittleEndian.Uint64(s)
+	}
+	return 0
+}
+
+func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+func (r *reader) name() string { return string(r.take(int(r.u16()))) }
+
+// rem returns the unread byte count.
+func (r *reader) rem() int { return len(r.b) - r.off }
+
+// Decode parses an encoded trace. Zero-length per-interval slices
+// decode as nil (the codec does not distinguish nil from empty).
+func Decode(data []byte) (*trace.Trace, error) {
+	r := &reader{b: data, ok: true}
+	if string(r.take(4)) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if v := r.u32(); v != SchemaVersion {
+		return nil, fmt.Errorf("%w: schema version %d, want %d", ErrSchema, v, SchemaVersion)
+	}
+	if ne := r.u32(); ne != arch.NumEvents {
+		return nil, fmt.Errorf("%w: event vector width %d, want %d", ErrSchema, ne, arch.NumEvents)
+	}
+	t := &trace.Trace{}
+	t.Run = r.name()
+	t.Suite = r.name()
+	t.Platform = r.name()
+	nIv := int(r.u32())
+	if !r.ok {
+		return nil, fmt.Errorf("%w: truncated header", ErrCorrupt)
+	}
+	// Each interval costs at least 4 (frameLen) + frameFixed bytes, so a
+	// count implying more data than present is rejected before allocating.
+	if nIv < 0 || nIv > r.rem()/(4+frameFixed) {
+		return nil, fmt.Errorf("%w: interval count %d exceeds data", ErrCorrupt, nIv)
+	}
+	if nIv > 0 {
+		t.Intervals = make([]trace.Interval, nIv)
+	}
+	for i := range t.Intervals {
+		frameLen := int(r.u32())
+		frame := r.take(frameLen)
+		if frame == nil {
+			return nil, fmt.Errorf("%w: truncated at interval %d", ErrCorrupt, i)
+		}
+		if err := decodeFrame(frame, &t.Intervals[i]); err != nil {
+			return nil, fmt.Errorf("interval %d: %w", i, err)
+		}
+	}
+	if r.rem() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, r.rem())
+	}
+	return t, nil
+}
+
+func decodeFrame(frame []byte, iv *trace.Interval) error {
+	r := &reader{b: frame, ok: true}
+	iv.TimeS = r.f64()
+	iv.DurS = r.f64()
+	iv.TempK = r.f64()
+	iv.MeasPowerW = r.f64()
+	iv.TruePowerW = r.f64()
+	iv.TrueCoreW = r.f64()
+	iv.TrueNBW = r.f64()
+
+	nVF := int(r.u32())
+	if !r.ok || nVF < 0 || nVF > r.rem()/8 {
+		return fmt.Errorf("%w: bad VF count", ErrCorrupt)
+	}
+	if nVF > 0 {
+		iv.PerCoreVF = make([]arch.VFState, nVF)
+	}
+	for i := range iv.PerCoreVF {
+		iv.PerCoreVF[i] = arch.VFState(int64(r.u64()))
+	}
+
+	nCtr := int(r.u32())
+	if !r.ok || nCtr < 0 || nCtr > r.rem()/(8*arch.NumEvents) {
+		return fmt.Errorf("%w: bad counter count", ErrCorrupt)
+	}
+	if nCtr > 0 {
+		iv.Counters = make([]arch.EventVec, nCtr)
+	}
+	for i := range iv.Counters {
+		for j := range iv.Counters[i] {
+			iv.Counters[i][j] = r.f64()
+		}
+	}
+
+	nBusy := int(r.u32())
+	if !r.ok || nBusy < 0 || nBusy > r.rem() {
+		return fmt.Errorf("%w: bad busy count", ErrCorrupt)
+	}
+	if nBusy > 0 {
+		iv.Busy = make([]bool, nBusy)
+	}
+	for i := range iv.Busy {
+		switch b := r.take(1); {
+		case b == nil:
+			return fmt.Errorf("%w: truncated busy flags", ErrCorrupt)
+		case b[0] == 1:
+			iv.Busy[i] = true
+		case b[0] != 0:
+			return fmt.Errorf("%w: busy flag byte %#x", ErrCorrupt, b[0])
+		}
+	}
+
+	nDyn := int(r.u32())
+	if !r.ok || nDyn < 0 || nDyn > r.rem()/8 {
+		return fmt.Errorf("%w: bad dyn-power count", ErrCorrupt)
+	}
+	if nDyn > 0 {
+		iv.TrueCoreDynW = make([]float64, nDyn)
+	}
+	for i := range iv.TrueCoreDynW {
+		iv.TrueCoreDynW[i] = r.f64()
+	}
+
+	if !r.ok {
+		return fmt.Errorf("%w: truncated frame", ErrCorrupt)
+	}
+	if r.rem() != 0 {
+		return fmt.Errorf("%w: %d trailing frame bytes", ErrCorrupt, r.rem())
+	}
+	return nil
+}

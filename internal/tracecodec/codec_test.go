@@ -1,0 +1,200 @@
+package tracecodec
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ppep/internal/arch"
+	"ppep/internal/trace"
+)
+
+// campaignTrace builds a trace with the shape the campaign produces:
+// 8 cores, full 12-event counter vectors, oracle fields populated, and
+// float values spanning magnitudes (including negatives, tiny
+// subnormal-ish values, and -0) to exercise the raw-bit round-trip.
+func campaignTrace(seed int64, nIntervals int) *trace.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	t := &trace.Trace{Run: "433 x2", Suite: "SPE", Platform: "fx8320"}
+	cores := 8
+	for i := 0; i < nIntervals; i++ {
+		iv := trace.Interval{
+			TimeS:      float64(i) * 0.2,
+			DurS:       0.2,
+			TempK:      310 + 10*rng.Float64(),
+			MeasPowerW: 60 + 40*rng.Float64(),
+			TruePowerW: 60 + 40*rng.Float64(),
+			TrueCoreW:  40 * rng.Float64(),
+			TrueNBW:    15 * rng.Float64(),
+		}
+		if i == 0 {
+			iv.TimeS = negZero() // -0 must survive
+			iv.TrueNBW = 1e-310  // subnormal
+		}
+		for c := 0; c < cores; c++ {
+			iv.PerCoreVF = append(iv.PerCoreVF, arch.VFState(1+rng.Intn(5)))
+			iv.Busy = append(iv.Busy, rng.Intn(2) == 1)
+			var ev arch.EventVec
+			for e := range ev {
+				ev[e] = rng.NormFloat64() * 1e9
+			}
+			iv.Counters = append(iv.Counters, ev)
+			iv.TrueCoreDynW = append(iv.TrueCoreDynW, rng.Float64()*8)
+		}
+		t.Intervals = append(t.Intervals, iv)
+	}
+	return t
+}
+
+func negZero() float64 {
+	z := 0.0
+	return -z
+}
+
+func TestRoundTrip(t *testing.T) {
+	var enc Encoder
+	for _, n := range []int{0, 1, 7, 40} {
+		orig := campaignTrace(int64(n)+1, n)
+		b, err := enc.Encode(orig)
+		if err != nil {
+			t.Fatalf("Encode(%d intervals): %v", n, err)
+		}
+		got, err := Decode(b)
+		if err != nil {
+			t.Fatalf("Decode(%d intervals): %v", n, err)
+		}
+		if got.Fingerprint() != orig.Fingerprint() {
+			t.Fatalf("%d intervals: fingerprint changed across round-trip", n)
+		}
+		if !reflect.DeepEqual(got, orig) {
+			t.Fatalf("%d intervals: decoded trace differs structurally", n)
+		}
+	}
+}
+
+// TestEncoderReusesBuffer checks the amortization contract: a second
+// Encode of a same-shaped trace performs zero allocations.
+func TestEncoderReusesBuffer(t *testing.T) {
+	var enc Encoder
+	tr := campaignTrace(3, 10)
+	if _, err := enc.Encode(tr); err != nil {
+		t.Fatal(err)
+	}
+	n := testing.AllocsPerRun(20, func() {
+		if _, err := enc.Encode(tr); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if n != 0 {
+		t.Fatalf("warm Encode allocates %.0f times per call, want 0", n)
+	}
+}
+
+func TestSchemaVersionMismatch(t *testing.T) {
+	var enc Encoder
+	b, err := enc.Encode(campaignTrace(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), b...)
+	binary.LittleEndian.PutUint32(bad[4:], SchemaVersion+1)
+	if _, err := Decode(bad); !errors.Is(err, ErrSchema) {
+		t.Fatalf("future schema version: err = %v, want ErrSchema", err)
+	}
+	bad = append([]byte(nil), b...)
+	binary.LittleEndian.PutUint32(bad[8:], arch.NumEvents+1)
+	if _, err := Decode(bad); !errors.Is(err, ErrSchema) {
+		t.Fatalf("event width mismatch: err = %v, want ErrSchema", err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := Decode([]byte("NOPE")); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad magic: err = %v, want ErrCorrupt", err)
+	}
+	if _, err := Decode(nil); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("empty input: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestEveryTruncationErrors decodes every proper prefix of a valid
+// encoding: each must return an error, never a partial trace.
+func TestEveryTruncationErrors(t *testing.T) {
+	var enc Encoder
+	b, err := enc.Encode(campaignTrace(2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(b); n++ {
+		if tr, err := Decode(b[:n]); err == nil {
+			t.Fatalf("Decode of %d/%d-byte prefix succeeded (%d intervals)", n, len(b), len(tr.Intervals))
+		}
+	}
+}
+
+func TestTrailingBytesError(t *testing.T) {
+	var enc Encoder
+	b, err := enc.Encode(campaignTrace(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(append(append([]byte(nil), b...), 0xAA)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("trailing byte: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestHugeCountRejectedBeforeAlloc corrupts the interval count to the
+// u32 max: Decode must reject it cheaply rather than attempt a
+// multi-gigabyte allocation.
+func TestHugeCountRejectedBeforeAlloc(t *testing.T) {
+	var enc Encoder
+	b, err := enc.Encode(campaignTrace(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), b...)
+	// nIntervals sits right after the three (empty-prefix-free) names.
+	off := 12
+	for i := 0; i < 3; i++ {
+		off += 2 + int(binary.LittleEndian.Uint16(bad[off:]))
+	}
+	binary.LittleEndian.PutUint32(bad[off:], math.MaxUint32)
+	if _, err := Decode(bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("huge interval count: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func FuzzDecode(f *testing.F) {
+	var enc Encoder
+	for _, n := range []int{0, 1, 3} {
+		b, err := enc.Encode(campaignTrace(int64(n), n))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(append([]byte(nil), b...))
+	}
+	f.Add([]byte("PPTC"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Decode(data) // must never panic
+		if err != nil {
+			return
+		}
+		// Anything that decodes must re-encode and decode to the same
+		// fingerprint (no partial/ambiguous parses).
+		b2, err := new(Encoder).Encode(tr)
+		if err != nil {
+			t.Fatalf("re-encode of decoded trace: %v", err)
+		}
+		tr2, err := Decode(b2)
+		if err != nil {
+			t.Fatalf("decode of re-encode: %v", err)
+		}
+		if tr.Fingerprint() != tr2.Fingerprint() {
+			t.Fatalf("fingerprint unstable across re-encode")
+		}
+	})
+}

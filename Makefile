@@ -3,7 +3,7 @@
 GO ?= go
 LINT_STATS := /tmp/ppeplint-stats.json
 
-.PHONY: all test lint fmt-check ci smoke smoke-cache bench bench-all experiments flagship fmt vet tools
+.PHONY: all test lint fmt-check ci smoke smoke-cache bench bench-guard bench-all experiments flagship fmt vet tools
 
 all: test
 
@@ -28,6 +28,7 @@ ci: fmt-check
 	$(GO) test -race ./...
 	$(MAKE) smoke
 	$(MAKE) smoke-cache
+	$(MAKE) bench-guard
 
 # Service-mode smoke test: the httptest endpoint suite plus the
 # end-to-end faulted-loop integration test, run fresh (-count=1) so a
@@ -53,10 +54,19 @@ smoke-cache:
 # package count and wall time ride along under the "ppeplint" key.
 bench:
 	$(GO) run ./cmd/ppeplint -stats $(LINT_STATS)
-	$(GO) test -run xxx -bench '^(BenchmarkChipTick|BenchmarkTickN|BenchmarkEventPrediction|BenchmarkServeInterval|BenchmarkCampaignColdCache|BenchmarkCampaignWarmCache)$$' \
+	$(GO) test -run xxx -bench '^(BenchmarkChipTick|BenchmarkTickN|BenchmarkTickNJittered|BenchmarkFleetTick|BenchmarkEventPrediction|BenchmarkServeInterval|BenchmarkCampaignColdCache|BenchmarkCampaignWarmCache)$$' \
 		-benchmem -count=5 . | $(GO) run ./cmd/benchjson -lint $(LINT_STATS) > BENCH_fxsim.json
 	rm -f $(LINT_STATS)
 	cat BENCH_fxsim.json
+
+# Batched-tick-engine guard: a fresh (-count=1) reference-vs-fast
+# equivalence smoke — the golden fingerprints, the deterministic and
+# fuzzed equivalence scenarios, the fast path's zero-alloc pin — plus
+# the lint pins asserting the fast path carries //ppep:hotpath and the
+# suppression census gained nothing new.
+bench-guard:
+	$(GO) test -count=1 -run 'TestGoldenCollectEquivalence|TestEngineEquivalence|TestEngineFuzz|TestFastTickZeroAlloc' ./internal/fxsim
+	$(GO) test -count=1 -run 'TestRepoClean|TestHotRootsAnnotated' ./internal/lint
 
 # Every benchmark, including the figure/table regenerations.
 bench-all:

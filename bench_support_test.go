@@ -34,15 +34,15 @@ func benchmarkTick(b *testing.B) {
 	}
 }
 
-// benchmarkTickN drives the simulator through whole 200-tick decision
+// benchmarkTickNWith drives the simulator through whole 200-tick decision
 // intervals via the batched API, the granularity Collect and the PG
-// sweeps actually use.
-func benchmarkTickN(b *testing.B) {
+// sweeps actually use, with eight threads of the given benchmark.
+func benchmarkTickNWith(b *testing.B, bench *workload.Benchmark) {
 	cfg := fxsim.DefaultFX8320Config()
 	cfg.IdealSensor = true
 	chip := fxsim.New(cfg)
 	run := workload.Run{Name: "tickn", Suite: "micro",
-		Members: []workload.Member{{Bench: workload.BenchA(), Threads: 8}}}
+		Members: []workload.Member{{Bench: bench, Threads: 8}}}
 	if _, err := chip.PlaceRun(run, fxsim.PlaceCompact, true); err != nil {
 		b.Fatal(err)
 	}
@@ -54,6 +54,51 @@ func benchmarkTickN(b *testing.B) {
 		chip.TickN(arch.DecisionIntervalMS)
 		chip.ReadInterval()
 	}
+}
+
+// benchmarkTickN is the phase-stable case: a zero-noise workload the
+// batched engine fast-forwards.
+func benchmarkTickN(b *testing.B) { benchmarkTickNWith(b, workload.BenchSteady()) }
+
+// benchmarkTickNJittered is the jittered case: BenchA's position-locked
+// noise keeps every tick on the reference path.
+func benchmarkTickNJittered(b *testing.B) { benchmarkTickNWith(b, workload.BenchA()) }
+
+// benchmarkFleetTick drives a fleet of 256 simulated nodes through one
+// second of simulation each — the fleet-scale control-plane shape the
+// batched tick engine exists for.
+func benchmarkFleetTick(b *testing.B) {
+	const fleet = 256
+	long := *workload.BenchSteady()
+	long.Instructions = 1e18
+	chips := make([]*fxsim.Chip, fleet)
+	for ci := range chips {
+		cfg := fxsim.DefaultFX8320Config()
+		cfg.IdealSensor = true
+		chip := fxsim.New(cfg)
+		for core := 0; core < cfg.Topology.NumCores(); core++ {
+			if err := chip.Bind(core, &long, false); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := chip.SetAllPStates(arch.VF5); err != nil {
+			b.Fatal(err)
+		}
+		chips[ci] = chip
+	}
+	const intervalsPerS = 1000 / arch.DecisionIntervalMS
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, chip := range chips {
+			for w := 0; w < intervalsPerS; w++ {
+				chip.TickN(arch.DecisionIntervalMS)
+				chip.ReadInterval()
+			}
+		}
+	}
+	b.StopTimer()
+	ticks := float64(b.N) * fleet * 1000
+	b.ReportMetric(ticks/b.Elapsed().Seconds()/1e6, "Mticks/s")
 }
 
 // benchmarkServeDaemon assembles the service-mode stack on a busy chip:

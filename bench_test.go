@@ -249,9 +249,22 @@ func BenchmarkChipTick(b *testing.B) {
 
 // BenchmarkTickN measures one full 200-tick decision interval through
 // the batched TickN API plus the interval read — the campaign's unit of
-// work.
+// work — on a phase-stable workload the engine fast-forwards.
 func BenchmarkTickN(b *testing.B) {
 	benchmarkTickN(b)
+}
+
+// BenchmarkTickNJittered measures the same interval on a jittered
+// workload, i.e. the reference path's cost when quiescence never holds.
+func BenchmarkTickNJittered(b *testing.B) {
+	benchmarkTickNJittered(b)
+}
+
+// BenchmarkFleetTick measures 256 chips × 1 simulated second each — the
+// fleet-scale shape (hundreds of nodes per control-plane process) the
+// batched engine targets.
+func BenchmarkFleetTick(b *testing.B) {
+	benchmarkFleetTick(b)
 }
 
 // BenchmarkEventPrediction measures one core's cross-VF event-rate

@@ -102,6 +102,12 @@ func AttachOpts(chip *fxsim.Chip, models *core.Models, policy Policy, opts Optio
 // atomics).
 func (d *Daemon) Counters() *Counters { return &d.counters }
 
+// EngineStats returns the chip's tick-engine counters. A daemon-attached
+// chip runs register-level counter files, which pin it to the reference
+// path, so FastTicks stays 0 here — the stats are exported so /metrics
+// makes that visible rather than implicit.
+func (d *Daemon) EngineStats() fxsim.EngineStats { return d.chip.EngineStats() }
+
 // InjectFaults turns on deterministic transient-fault injection on both
 // device read paths (the service-hardening knob; rates in [0, 1)). Only
 // meaningful when the daemon was attached through the real msr.Device —

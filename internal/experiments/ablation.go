@@ -205,7 +205,7 @@ func (c *Campaign) measurementAblation(id, title string, mut func(*fxsim.Config)
 // configurations stay comparable; a VRM factor converts the true value
 // onto the sensed scale the models were trained in.
 func (c *Campaign) ablationErrors(run workload.Run, mut func(*fxsim.Config)) ([]float64, error) {
-	cfg := fxsim.DefaultFX8320Config()
+	cfg := c.ChipConfig()
 	cfg.SensorSeed = seedOf("abl-"+run.Name, c.Table.Top())
 	if mut != nil {
 		mut(&cfg)
@@ -326,7 +326,7 @@ func (c *Campaign) AblationLLBandwidth() (*Result, error) {
 	fHi := c.Table.Point(hi).Freq
 	fLo := c.Table.Point(lo).Freq
 	collectAt := func(run workload.Run, vf arch.VFState) (*trace.Trace, error) {
-		cfg := fxsim.DefaultFX8320Config()
+		cfg := c.ChipConfig()
 		cfg.SensorSeed = seedOf("llbw-"+run.Name, vf)
 		chip := fxsim.New(cfg)
 		return chip.Collect(scaleRun(run, c.opts.Scale), fxsim.RunOpts{

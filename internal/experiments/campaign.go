@@ -45,6 +45,12 @@ type Options struct {
 	// CacheMaxBytes caps the cache directory's total size; oldest
 	// entries are evicted past it (0 = unbounded).
 	CacheMaxBytes int64
+	// ReferenceTick pins every simulated chip to fxsim's reference
+	// per-tick path instead of the batched quiescent-run engine. The two
+	// are bit-identical, so this changes timings, never results; it
+	// exists for debugging and A/B measurement (ppep-experiments
+	// -reftick).
+	ReferenceTick bool
 }
 
 // validate rejects option values that would otherwise be silently
@@ -85,6 +91,19 @@ type Campaign struct {
 	exploreOnce sync.Once
 	exploreTr   map[string]*trace.Trace
 	exploreErr  error
+}
+
+// ChipConfig returns the campaign platform's chip config with the
+// campaign-wide simulation options (Options.ReferenceTick) applied.
+// Every harness that builds a chip goes through it, so one flag switches
+// the whole campaign between the batched and reference tick engines.
+func (c *Campaign) ChipConfig() fxsim.Config {
+	cfg := fxsim.DefaultFX8320Config()
+	if c.Platform == arch.PhenomII.Name {
+		cfg = fxsim.DefaultPhenomIIConfig()
+	}
+	cfg.ReferenceTick = c.opts.ReferenceTick
+	return cfg
 }
 
 // scaleBench returns a copy of b with its length scaled.
@@ -230,7 +249,7 @@ func NewFXCampaign(opts Options) (*Campaign, error) {
 	// Idle heat/cool transients at every VF state, in parallel: each
 	// transient simulates an independent chip seeded from its (name, VF)
 	// identity, so results are schedule-independent.
-	if err := c.collectIdle("idle", fxsim.DefaultFX8320Config); err != nil {
+	if err := c.collectIdle("idle", c.ChipConfig); err != nil {
 		return nil, err
 	}
 
@@ -239,7 +258,7 @@ func NewFXCampaign(opts Options) (*Campaign, error) {
 	runs = append(runs, truncate(workload.SPECRuns(), opts.MaxRunsPerSuite)...)
 	runs = append(runs, truncate(workload.PARSECRuns(), opts.MaxRunsPerSuite)...)
 	runs = append(runs, truncate(workload.NPBRuns(), opts.MaxRunsPerSuite)...)
-	if err := c.collect(runs, fxsim.DefaultFX8320Config); err != nil {
+	if err := c.collect(runs, c.ChipConfig); err != nil {
 		return nil, err
 	}
 
@@ -277,7 +296,7 @@ func NewPhenomCampaign(opts Options) (*Campaign, error) {
 	if err := c.openCache(); err != nil {
 		return nil, err
 	}
-	if err := c.collectIdle("phenom-idle", fxsim.DefaultPhenomIIConfig); err != nil {
+	if err := c.collectIdle("phenom-idle", c.ChipConfig); err != nil {
 		return nil, err
 	}
 	var runs []workload.Run
@@ -291,7 +310,7 @@ func NewPhenomCampaign(opts Options) (*Campaign, error) {
 			runs = append(runs, r)
 		}
 	}
-	if err := c.collect(runs, fxsim.DefaultPhenomIIConfig); err != nil {
+	if err := c.collect(runs, c.ChipConfig); err != nil {
 		return nil, err
 	}
 	return c, c.train()
@@ -382,7 +401,7 @@ func (c *Campaign) collect(runs []workload.Run, mkCfg func() fxsim.Config) error
 // measured) are what the cache stores; the mean is recomputed from them
 // in interval order, so a decoded cell reproduces the bit-identical mean.
 func (c *Campaign) pgCell(vf arch.VFState, pg bool, busy int) (float64, error) {
-	cfg := fxsim.DefaultFX8320Config()
+	cfg := c.ChipConfig()
 	cfg.PowerGating = pg
 	cfg.SensorSeed = seedOf(fmt.Sprintf("pg%v-%d", pg, busy), vf)
 	tr, err := c.simulate("pg", cfg, pgDef{VF: vf, PG: pg, Busy: busy},

@@ -25,7 +25,7 @@ func (c *Campaign) Fig7() (*Result, error) {
 	const runS = 60
 
 	runWith := func(ctl fxsim.Controller, seed int64) error {
-		cfg := fxsim.DefaultFX8320Config()
+		cfg := c.ChipConfig()
 		cfg.PowerGating = true
 		cfg.PerCUPlanes = true
 		cfg.SensorSeed = seed

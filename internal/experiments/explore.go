@@ -27,7 +27,7 @@ func (c *Campaign) exploreTraces() (map[string]*trace.Trace, error) {
 		for _, num := range exploreBenches {
 			for _, n := range exploreModes {
 				run := workload.MultiInstance(num, n)
-				cfg := fxsim.DefaultFX8320Config()
+				cfg := c.ChipConfig()
 				cfg.PowerGating = true
 				cfg.SensorSeed = seedOf("explore-"+run.Name, c.Table.Top())
 				scaled := scaleRun(run, c.opts.Scale)

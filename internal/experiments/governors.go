@@ -59,7 +59,7 @@ func (c *Campaign) GovernorComparison() (*Result, error) {
 
 	for _, e := range entries {
 		ctl, hist := e.mk()
-		cfg := fxsim.DefaultFX8320Config()
+		cfg := c.ChipConfig()
 		cfg.PowerGating = true
 		cfg.SensorSeed = seedOf("gov-"+e.name, c.Table.Top())
 		chip := fxsim.New(cfg)

@@ -56,6 +56,13 @@ type Config struct {
 	SensorSeed int64
 	// IdealSensor replaces the noisy sensor with a perfect one.
 	IdealSensor bool
+	// ReferenceTick disables the batched quiescent-run engine and runs
+	// every tick through the reference per-tick path. The two paths are
+	// bit-identical (the equivalence harness in engine_test.go pins
+	// this), so the switch exists for debugging and for the harness
+	// itself, not for correctness. The `ppep_reftick` build tag forces
+	// the same behaviour module-wide.
+	ReferenceTick bool
 }
 
 // DefaultFX8320Config returns the paper's primary platform with power
@@ -79,23 +86,28 @@ func DefaultPhenomIIConfig() Config {
 	}
 }
 
-// coreSlot is one hardware core's runtime state.
-type coreSlot struct {
-	thread *uarch.Core // nil when idle
-	mux    *pmc.Mux
-	// counters, when non-nil, is the register-level counter file the MSR
-	// device exposes (EnableCounterFiles).
-	counters *pmc.CounterFile
-	// restart re-binds the same benchmark when the thread finishes
-	// (used by time-bounded experiments like power capping).
-	restart bool
-	bench   *workload.Benchmark
-}
-
 // Chip is the live simulated processor.
+//
+// Per-core runtime state is struct-of-arrays: the tick loop sweeps
+// contiguous parallel slices (threads, mux, bound flags) instead of
+// chasing per-core slot pointers, so the hot sweep touches a handful of
+// cache lines laid out in iteration order.
 type Chip struct {
-	cfg     Config
-	cores   []coreSlot
+	cfg Config
+	// threads holds every core's execution context as a value slot;
+	// bound[i] reports whether a thread is bound there (a bound thread
+	// may have finished — Busy distinguishes). benches/restart carry the
+	// re-bind behaviour for time-bounded experiments like power capping.
+	threads []uarch.Core
+	bound   []bool
+	restart []bool
+	benches []*workload.Benchmark
+	// mux is the per-core multiplexed counter file, again as contiguous
+	// value slots. counters[i], when non-nil, is the register-level
+	// counter file the MSR device exposes (EnableCounterFiles).
+	mux      []pmc.Mux
+	counters []*pmc.CounterFile
+
 	pstates []arch.VFState // per CU
 	nbPoint arch.VFPoint
 
@@ -134,6 +146,11 @@ type Chip struct {
 	cuOp        []cuOpCache   // per-CU operating-point coefficient memo
 	scratchDyn  []units.Watts // Breakdown.CoreDynW backing store
 	scratchLeak []units.Watts // Breakdown.CULeakW backing store
+
+	// eng is the batched tick engine: it memoizes per-tick deltas over
+	// quiescent runs and fast-forwards them without re-running the full
+	// per-core model (engine.go). Chip mutators invalidate it.
+	eng engine
 }
 
 // cuOpCache memoises the power-model coefficients for one CU's current
@@ -155,29 +172,36 @@ func New(cfg Config) *Chip {
 	// must never share it.
 	nb := *cfg.NB
 	cfg.NB = &nb
+	nCores := cfg.Topology.NumCores()
 	c := &Chip{
 		cfg:         cfg,
-		cores:       make([]coreSlot, cfg.Topology.NumCores()),
+		threads:     make([]uarch.Core, nCores),
+		bound:       make([]bool, nCores),
+		restart:     make([]bool, nCores),
+		benches:     make([]*workload.Benchmark, nCores),
+		mux:         make([]pmc.Mux, nCores),
+		counters:    make([]*pmc.CounterFile, nCores),
 		pstates:     make([]arch.VFState, cfg.Topology.NumCUs),
 		nbPoint:     arch.VFPoint{Voltage: units.Volts(cfg.NB.VoltageV), Freq: units.GigaHertz(cfg.NB.FreqGHz)},
 		therm:       thermal.DefaultFX8320(),
-		coreDynSum:  make([]units.Watts, cfg.Topology.NumCores()),
-		intervalVF:  make([]arch.VFState, cfg.Topology.NumCores()),
+		coreDynSum:  make([]units.Watts, nCores),
+		intervalVF:  make([]arch.VFState, nCores),
 		cuBusyCores: make([]int, cfg.Topology.NumCUs),
 		cuPoints:    make([]arch.VFPoint, cfg.Topology.NumCUs),
 		cuOp:        make([]cuOpCache, cfg.Topology.NumCUs),
-		scratchDyn:  make([]units.Watts, cfg.Topology.NumCores()),
+		scratchDyn:  make([]units.Watts, nCores),
 		scratchLeak: make([]units.Watts, cfg.Topology.NumCUs),
 	}
+	c.eng.init(&cfg, nCores, cfg.Topology.NumCUs)
 	if cfg.IdealSensor {
 		c.sensor = sensor.Ideal()
 	} else {
 		c.sensor = sensor.Default(cfg.SensorSeed)
 	}
-	for i := range c.cores {
+	for i := range c.mux {
 		m := pmc.NewMux()
 		m.Disabled = cfg.MuxDisabled
-		c.cores[i].mux = m
+		c.mux[i] = *m
 	}
 	top := cfg.Topology.VF.Top()
 	topPoint := cfg.Topology.VF.Point(top)
@@ -214,8 +238,14 @@ func (c *Chip) TempK() units.Kelvin {
 	return units.Kelvin(float64(int64(c.therm.TempK()*1000)) / 1000)
 }
 
-// SetTempK forces the package temperature (experiment setup).
-func (c *Chip) SetTempK(t units.Kelvin) { c.therm.SetTempK(t) }
+// SetTempK forces the package temperature (experiment setup). The
+// batched engine reads temperature fresh every tick, but a forced jump
+// is a state discontinuity, so the active run is conservatively
+// invalidated.
+func (c *Chip) SetTempK(t units.Kelvin) {
+	c.therm.SetTempK(t)
+	c.eng.invalidate()
+}
 
 // Thermal returns the thermal model (used by heat/cool experiments).
 func (c *Chip) Thermal() *thermal.Model { return c.therm }
@@ -243,6 +273,7 @@ func (c *Chip) SetPState(cu int, s arch.VFState) error {
 	c.pstates[cu] = s
 	c.cuPoints[cu] = c.cfg.Topology.VF.Point(s)
 	c.refreshSharedRail()
+	c.eng.invalidate()
 	return nil
 }
 
@@ -303,6 +334,7 @@ func (c *Chip) SetNBPoint(p arch.VFPoint) {
 	c.cfg.NB.FreqGHz = float64(p.Freq)
 	c.cfg.NB.VoltageV = float64(p.Voltage)
 	c.refreshNBCaches()
+	c.eng.invalidate()
 }
 
 // railVoltage returns the voltage a CU runs at: its own point with per-CU
@@ -386,16 +418,18 @@ func (c *Chip) anyBoosting() bool {
 // Bind places a thread of the benchmark on a hardware core (the taskset
 // equivalent). restart re-binds on completion.
 func (c *Chip) Bind(core int, b *workload.Benchmark, restart bool) error {
-	if core < 0 || core >= len(c.cores) {
+	if core < 0 || core >= len(c.threads) {
 		return fmt.Errorf("fxsim: core %d out of range", core)
 	}
-	if c.cores[core].thread != nil {
+	if c.bound[core] {
 		return fmt.Errorf("fxsim: core %d already busy", core)
 	}
-	c.cores[core].thread = uarch.NewCore(b, float64(c.fTopGHz))
-	c.cores[core].bench = b
-	c.cores[core].restart = restart
+	c.threads[core].Reset(b, float64(c.fTopGHz))
+	c.bound[core] = true
+	c.benches[core] = b
+	c.restart[core] = restart
 	c.markBusy(core)
+	c.eng.invalidate()
 	return nil
 }
 
@@ -404,22 +438,23 @@ func (c *Chip) Unbind(core int) {
 	if c.Busy(core) {
 		c.markIdle(core)
 	}
-	c.cores[core].thread = nil
-	c.cores[core].bench = nil
-	c.cores[core].restart = false
+	c.threads[core] = uarch.Core{}
+	c.bound[core] = false
+	c.benches[core] = nil
+	c.restart[core] = false
+	c.eng.invalidate()
 }
 
 // UnbindAll idles the whole chip.
 func (c *Chip) UnbindAll() {
-	for i := range c.cores {
+	for i := range c.threads {
 		c.Unbind(i)
 	}
 }
 
 // Busy reports whether a thread is bound and unfinished on the core.
 func (c *Chip) Busy(core int) bool {
-	t := c.cores[core].thread
-	return t != nil && !t.Finished()
+	return c.bound[core] && !c.threads[core].Finished()
 }
 
 // AllIdle reports whether no core has active work.
@@ -480,22 +515,41 @@ func (c *Chip) cuCoeffs(cu int, v units.Volts, f units.GigaHertz) *cuOpCache {
 // keep current.
 //
 //ppep:hotpath
-func (c *Chip) Tick() { c.tick() }
+func (c *Chip) Tick() { c.TickN(1) }
 
-// TickN advances the chip by n ticks. The per-tick loop invariants (NB
-// latency params, operating-point coefficients, busy counters) are
-// persistent caches on the chip rather than per-call hoists, so batched
-// ticking costs exactly n times one tick with no warm-up; TickN exists so
-// hot callers (Collect, HeatCool, the PG sweeps, the daemon) express
-// "advance one measurement window" as a single call.
+// TickN advances the chip by n ticks through the batched engine: ticks
+// inside a sealed quiescent run replay memoized per-tick deltas
+// (fastTick), every other tick runs the reference path, and runs are
+// probed for whenever the engine is armed (engine.go). The per-tick
+// loop invariants (NB latency params, operating-point coefficients,
+// busy counters) are persistent caches on the chip rather than per-call
+// hoists, so batched ticking costs exactly n times one tick with no
+// warm-up; TickN exists so hot callers (Collect, HeatCool, the PG
+// sweeps, the daemon) express "advance one measurement window" as a
+// single call.
 //
 //ppep:hotpath
 func (c *Chip) TickN(n int) {
 	for i := 0; i < n; i++ {
-		c.tick()
+		e := &c.eng
+		switch {
+		case e.valid:
+			c.fastTick()
+		case e.armed():
+			c.probeTick()
+		default:
+			if e.backoff > 0 {
+				e.backoff--
+			}
+			c.tick()
+		}
 	}
 }
 
+// tick is the reference per-tick path: the full per-core model sweep.
+// The batched engine's fast path must replay its results bit-for-bit,
+// so every floating-point accumulation below is order-pinned — see
+// DESIGN.md ("The batched tick engine") before reordering anything.
 func (c *Chip) tick() {
 	if c.tickCount == 0 {
 		// First tick of a fresh interval: record the P-states it runs
@@ -512,24 +566,23 @@ func (c *Chip) tick() {
 	anyAwake := !c.nbGated()
 	maxFreq := units.GigaHertz(0)
 
-	for i := range c.cores {
+	for i := range c.threads {
 		cu := c.cfg.Topology.CUOf(i)
 		f := c.cuFreq(cu)
 		v := c.railVoltage(cu)
 		if f > maxFreq {
 			maxFreq = f
 		}
-		slot := &c.cores[i]
 		var act powertruth.Activity
 		if c.Busy(i) {
 			coreLat := lat
 			if c.siblingBusy(i) {
 				coreLat.L2ContentionCycles = mem.L2SiblingPenaltyCycles
 			}
-			r := slot.thread.Step(float64(f), TickS, coreLat)
-			slot.mux.Accumulate(r.Events, TickS*1000)
-			if slot.counters != nil {
-				slot.counters.Accumulate(r.Events)
+			r := c.threads[i].Step(float64(f), TickS, coreLat)
+			c.mux[i].Accumulate(r.Events, TickS*1000)
+			if c.counters[i] != nil {
+				c.counters[i].Accumulate(r.Events)
 			}
 			nbAct.L3AccessPS += r.L3Accesses / TickS
 			nbAct.DRAMPS += r.DRAMAccesses / TickS
@@ -539,9 +592,12 @@ func (c *Chip) tick() {
 				TLBWalkPS:  r.TLBWalks / TickS,
 				EPIScale:   r.EPIScale,
 			}
+			if c.eng.capturing {
+				c.eng.capture(i, r)
+			}
 			if r.Finished {
-				if slot.restart {
-					slot.thread = uarch.NewCore(slot.bench, float64(c.fTopGHz)) //ppep:allow hotpath restart path runs once per thread completion, not per tick
+				if c.restart[i] {
+					c.threads[i].Reset(c.benches[i], float64(c.fTopGHz))
 				} else {
 					// Later cores this same tick must observe the finished
 					// thread as idle (sibling/boost/gating checks), exactly
@@ -563,13 +619,12 @@ func (c *Chip) tick() {
 	tK := c.therm.TempK()
 	tempScale := c.cfg.Power.LeakTempScale(tK)
 	for cu := 0; cu < c.cfg.Topology.NumCUs; cu++ {
-		v := c.railVoltage(cu)
-		var voltScale float64
-		if m := &c.cuOp[cu]; m.ok && m.v == v {
-			voltScale = m.leakVolt
-		} else {
-			voltScale = c.cfg.Power.CULeakVoltScale(v)
-		}
+		// cuCoeffs is the single source of truth for operating-point
+		// coefficients: on a memo miss it derives CULeakVoltScale(v)
+		// itself, so going through it is value-identical to the old
+		// open-coded fallback while also warming the memo for the next
+		// tick.
+		voltScale := c.cuCoeffs(cu, c.railVoltage(cu), c.cuFreq(cu)).leakVolt
 		breakdown.CULeakW[cu] = c.cfg.Power.CULeakageWWith(voltScale, tempScale, c.cuGated(cu))
 	}
 	gatedNB := c.nbGated()
@@ -589,7 +644,8 @@ func (c *Chip) tick() {
 	// Damped utilization feedback: raw per-tick utilization oscillates
 	// (high latency → low demand → low latency → ...); an EMA mirrors
 	// the averaging a real memory controller's queues perform.
-	c.lastUtil = 0.6*c.lastUtil + 0.4*c.cfg.NB.Utilization(nbAct.DRAMPS)
+	utilX := c.cfg.NB.Utilization(nbAct.DRAMPS)
+	c.lastUtil = 0.6*c.lastUtil + 0.4*utilX
 
 	// Interval accumulation.
 	c.trueSum += float64(totalW)
@@ -605,25 +661,34 @@ func (c *Chip) tick() {
 		c.sensorSum += c.sensor.Sample(float64(totalW))
 		c.sensorN++
 	}
+	if c.eng.capturing {
+		c.eng.captureChip(breakdown.NBDynW, breakdown.HousekW, utilX)
+	}
+	c.eng.stats.ReferenceTicks++
 }
 
 // EnableCounterFiles attaches a register-level counter file to every core
 // so the MSR device (internal/msr) can expose PERF_CTL/PERF_CTR access.
+// Counter files observe every individual tick, so the batched engine is
+// permanently disabled for this chip (the daemon's tradeoff: register
+// fidelity over batching).
 func (c *Chip) EnableCounterFiles() {
-	for i := range c.cores {
-		if c.cores[i].counters == nil {
-			c.cores[i].counters = pmc.NewCounterFile()
+	for i := range c.counters {
+		if c.counters[i] == nil {
+			c.counters[i] = pmc.NewCounterFile()
 		}
 	}
+	c.eng.neverFast = true
+	c.eng.invalidate()
 }
 
 // CounterFile returns core i's register-level counter file, or nil when
 // EnableCounterFiles has not been called.
 func (c *Chip) CounterFile(core int) *pmc.CounterFile {
-	if core < 0 || core >= len(c.cores) {
+	if core < 0 || core >= len(c.counters) {
 		return nil
 	}
-	return c.cores[core].counters
+	return c.counters[core]
 }
 
 // ReadInterval closes the current measurement interval: it reads and
@@ -645,11 +710,11 @@ func (c *Chip) ReadInterval() trace.Interval {
 		// The chip reuses intervalVF across intervals; the handed-out
 		// record must own its snapshot.
 		PerCoreVF: append(make([]arch.VFState, 0, len(c.intervalVF)), c.intervalVF...),
-		Counters:  make([]arch.EventVec, 0, len(c.cores)),
-		Busy:      make([]bool, 0, len(c.cores)),
+		Counters:  make([]arch.EventVec, 0, len(c.threads)),
+		Busy:      make([]bool, 0, len(c.threads)),
 	}
-	for i := range c.cores {
-		iv.Counters = append(iv.Counters, c.cores[i].mux.ReadInterval(dur*1000))
+	for i := range c.threads {
+		iv.Counters = append(iv.Counters, c.mux[i].ReadInterval(dur*1000))
 		iv.Busy = append(iv.Busy, c.Busy(i))
 	}
 	if c.sensorN > 0 {

@@ -1,0 +1,7 @@
+//go:build !ppep_reftick
+
+package fxsim
+
+// buildReferenceTick reports whether the ppep_reftick build tag pins the
+// whole module to the reference per-tick path (it does not here).
+const buildReferenceTick = false

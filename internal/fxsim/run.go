@@ -45,7 +45,7 @@ func (c *Chip) PlaceRun(r workload.Run, p Placement, restart bool) ([]int, error
 
 // coreOrder returns core indices in placement order.
 func (c *Chip) coreOrder(p Placement) []int {
-	n := len(c.cores)
+	n := len(c.threads)
 	if p == PlaceCompact {
 		order := make([]int, n)
 		for i := range order {

@@ -302,7 +302,11 @@ type Breakdown struct {
 	HousekW  units.Watts
 }
 
-// TotalW sums the breakdown.
+// TotalW sums the breakdown. The summation order (NB terms, then per-core
+// dynamic, then per-CU leakage) is load-bearing: fxsim's batched tick
+// engine replays sealed per-tick power in exactly this order so its
+// floating-point totals stay bit-identical to the reference path — see
+// DESIGN.md, "The batched tick engine".
 //
 //ppep:hotpath
 func (b *Breakdown) TotalW() units.Watts {

@@ -260,6 +260,8 @@ func TestServeEndpoints(t *testing.T) {
 			"ppep_msr_read_retries_total ",
 			"ppep_hwmon_read_failures_total ",
 			"ppep_policy_rejects_total ",
+			"ppep_sim_fast_ticks_total ",
+			"ppep_sim_reference_ticks_total ",
 			"# TYPE ppep_intervals_total counter",
 			"# TYPE ppep_predicted_chip_watts gauge",
 		} {

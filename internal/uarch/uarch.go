@@ -61,7 +61,19 @@ type Core struct {
 // NewCore binds a thread of the benchmark to a fresh core context.
 // fTopGHz is the platform's highest core frequency.
 func NewCore(b *workload.Benchmark, fTopGHz float64) *Core {
-	return &Core{
+	c := &Core{}
+	c.Reset(b, fTopGHz)
+	return c
+}
+
+// Reset rebinds the core context to a fresh thread of the benchmark,
+// reusing the existing allocation. The simulator's thread-restart path
+// runs inside the tick loop, which must stay allocation-free, so
+// restarts reset the core slot in place instead of replacing it.
+//
+//ppep:hotpath
+func (c *Core) Reset(b *workload.Benchmark, fTopGHz float64) {
+	*c = Core{
 		Bench:  b,
 		segLen: b.Instructions / 200,
 		fTop:   fTopGHz,
@@ -156,6 +168,80 @@ func (c *Core) Step(fGHz, dtS float64, lat mem.Latencies) TickResult {
 		DRAMAccesses: r.L2Miss * phase.L3MissRatio * inst,
 		Finished:     c.finished,
 	}
+}
+
+// Lookahead describes how far a thread can run before its per-tick
+// behaviour could change — the contract the batched tick engine
+// (internal/fxsim) builds quiescent runs on.
+type Lookahead struct {
+	// Phase is the phase in effect at the thread's current position.
+	// Per-tick rates are a pure function of this pointer (plus the
+	// operating point) whenever Steady holds, so the engine's run
+	// invariant is pointer identity: PhaseAt(Done) == Phase.
+	Phase *workload.Phase
+	// Steady reports that the phase draws no position-locked jitter
+	// (Noise ≤ 0): every tick inside the phase retires the same
+	// instruction count and event mix, bit-for-bit.
+	Steady bool
+	// DoneBound is a retired-instruction count strictly before the
+	// phase's end: for every position d with Done ≤ d < DoneBound,
+	// PhaseAt(d) returns Phase. It deliberately under-approximates the
+	// true boundary (by a 1e-9 relative guard band that dwarfs the
+	// rounding error of PhaseAt's arithmetic), so a caller crossing it
+	// must re-confirm with PhaseAt rather than assume the phase ended.
+	// +Inf when the phase provably extends to the end of the run;
+	// degenerate (== Done) within the guard band of a boundary.
+	DoneBound float64
+}
+
+// StepUntilEvent reports how far the thread can run before its next
+// phase transition, without advancing it. A finished thread returns the
+// zero Lookahead.
+//
+//ppep:hotpath
+func (c *Core) StepUntilEvent() Lookahead {
+	if c.finished {
+		return Lookahead{}
+	}
+	phase := c.Bench.PhaseAt(c.Done)
+	la := Lookahead{
+		Phase:  phase,
+		Steady: phase.Noise <= 0 || c.segLen <= 0,
+	}
+	if len(c.Bench.Phases) == 1 {
+		// PhaseAt returns &Phases[0] at every position, loop wraps
+		// included.
+		la.DoneBound = math.Inf(1)
+		return la
+	}
+	loops := c.Bench.Loops
+	if loops < 1 {
+		loops = 1
+	}
+	perLoop := c.Bench.Instructions / float64(loops)
+	if perLoop <= 0 {
+		la.DoneBound = c.Done
+		return la
+	}
+	// The phase ends where the within-loop fraction reaches its
+	// cumulative weight (summed in PhaseAt's order), or at the loop
+	// wrap for the final phase. Computed in real arithmetic and shrunk
+	// by a relative guard band so DoneBound can never overshoot the
+	// boundary PhaseAt actually honours.
+	li := math.Floor(c.Done / perLoop)
+	acc := 0.0
+	for i := range c.Bench.Phases {
+		acc += c.Bench.Phases[i].Weight
+		if phase == &c.Bench.Phases[i] {
+			break
+		}
+	}
+	bound := (li*perLoop + acc*perLoop) * (1 - 1e-9)
+	if bound < c.Done {
+		bound = c.Done
+	}
+	la.DoneBound = bound
+	return la
 }
 
 // Jitter dimension indices: 0–7 are the Rates event fields, 8 modulates

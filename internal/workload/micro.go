@@ -3,10 +3,12 @@ package workload
 import "sync"
 
 var (
-	benchAOnce sync.Once
-	benchA     *Benchmark
-	idleOnce   sync.Once
-	idleBench  *Benchmark
+	benchAOnce  sync.Once
+	benchA      *Benchmark
+	steadyOnce  sync.Once
+	benchSteady *Benchmark
+	idleOnce    sync.Once
+	idleBench   *Benchmark
 )
 
 // BenchA returns the paper's Section IV-D microbenchmark: an L1-resident
@@ -42,6 +44,22 @@ func BenchA() *Benchmark {
 		}
 	})
 	return benchA
+}
+
+// BenchSteady returns BenchA with the rate jitter turned off entirely: a
+// single perfectly phase-stable, DRAM-free workload. It is the canonical
+// quiescent workload for the batched tick engine — every tick between
+// chip events is provably identical, so fxsim fast-forwards it — and the
+// phase-stable case the tick benchmarks report.
+func BenchSteady() *Benchmark {
+	steadyOnce.Do(func() {
+		b := *BenchA()
+		b.Name = "bench_steady"
+		b.Phases = append([]Phase(nil), b.Phases...)
+		b.Phases[0].Noise = 0
+		benchSteady = &b
+	})
+	return benchSteady
 }
 
 // OSHousekeeping returns a profile for the background OS activity that

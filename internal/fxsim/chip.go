@@ -664,7 +664,7 @@ func (c *Chip) tick() {
 	if c.eng.capturing {
 		c.eng.captureChip(breakdown.NBDynW, breakdown.HousekW, utilX)
 	}
-	c.eng.stats.ReferenceTicks++
+	c.eng.stats.referenceTicks.Add(1)
 }
 
 // EnableCounterFiles attaches a register-level counter file to every core

@@ -1,6 +1,8 @@
 package fxsim
 
 import (
+	"sync/atomic"
+
 	"ppep/internal/arch"
 	"ppep/internal/powertruth"
 	"ppep/internal/uarch"
@@ -73,13 +75,24 @@ type engine struct {
 	housekW    units.Watts
 	utilX      float64 // per-tick utilization sample feeding the EMA
 
-	stats EngineStats
+	stats engineCounters
 }
 
-// EngineStats counts how the chip's ticks were executed. FastTicks +
-// ReferenceTicks equals the total tick count; Probes counts capture ticks
-// (a subset of ReferenceTicks) and Seals the probes that produced a valid
-// run.
+// engineCounters are the live tick-execution counters. The fields are
+// atomics because the service mode reads them from HTTP handlers
+// (/metrics via Daemon.EngineStats) while the sampling goroutine ticks
+// the chip; a plain uint64 increment here is a torn-read data race.
+type engineCounters struct {
+	fastTicks      atomic.Uint64
+	referenceTicks atomic.Uint64
+	probes         atomic.Uint64
+	seals          atomic.Uint64
+}
+
+// EngineStats is a plain-value snapshot of how the chip's ticks were
+// executed. FastTicks + ReferenceTicks equals the total tick count;
+// Probes counts capture ticks (a subset of ReferenceTicks) and Seals the
+// probes that produced a valid run.
 type EngineStats struct {
 	FastTicks      uint64
 	ReferenceTicks uint64
@@ -87,8 +100,16 @@ type EngineStats struct {
 	Seals          uint64
 }
 
-// EngineStats returns the chip's tick-engine counters.
-func (c *Chip) EngineStats() EngineStats { return c.eng.stats }
+// EngineStats snapshots the chip's tick-engine counters. Safe to call
+// concurrently with a goroutine ticking the chip.
+func (c *Chip) EngineStats() EngineStats {
+	return EngineStats{
+		FastTicks:      c.eng.stats.fastTicks.Load(),
+		ReferenceTicks: c.eng.stats.referenceTicks.Load(),
+		Probes:         c.eng.stats.probes.Load(),
+		Seals:          c.eng.stats.seals.Load(),
+	}
+}
 
 // init sizes the engine for the chip's topology and latches the
 // structural disqualifiers.
@@ -181,7 +202,7 @@ func (c *Chip) probeTick() {
 	e.capturing = true
 	c.tick()
 	e.capturing = false
-	e.stats.Probes++
+	e.stats.probes.Add(1)
 
 	dramZero := true
 	for k := 0; k < e.nBusy; k++ {
@@ -208,7 +229,7 @@ func (c *Chip) probeTick() {
 	}
 	e.nbGatedM = c.nbGated()
 	e.valid = true
-	e.stats.Seals++
+	e.stats.seals.Add(1)
 }
 
 // fastTick replays one tick of a sealed quiescent run. The guard pass
@@ -285,5 +306,5 @@ func (c *Chip) fastTick() {
 		c.sensorSum += c.sensor.Sample(float64(totalW))
 		c.sensorN++
 	}
-	e.stats.FastTicks++
+	e.stats.fastTicks.Add(1)
 }

@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"ppep/internal/daemon"
+)
+
+// TestServeConcurrentEndpointReaders hammers the read-only endpoints
+// from several goroutines while the daemon loop runs, pinning — under
+// -race — that the handler path (Counters snapshot, ring snapshot,
+// EngineStats) is torn-read-free against the sampling goroutine. This
+// is the runtime counterpart of the atomiccheck analyzer: the invariant
+// it exercises dynamically is the one atomiccheck enforces statically.
+func TestServeConcurrentEndpointReaders(t *testing.T) {
+	d, err := daemon.AttachOpts(busyChip(t), models(t), nil, daemon.Options{HistoryCap: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	srv := New(d, Options{})
+	h := srv.Handler()
+
+	done := make(chan error, 1)
+	go func() { done <- d.Run(ctx) }()
+
+	const (
+		readers = 4
+		iters   = 100
+	)
+	paths := []string{"/metrics", "/reports", "/reports/latest", "/healthz"}
+	var wg sync.WaitGroup
+	wg.Add(readers)
+	for r := 0; r < readers; r++ {
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				path := paths[(r+i)%len(paths)]
+				rr := httptest.NewRecorder()
+				h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, path, nil))
+				switch rr.Code {
+				case http.StatusOK, http.StatusNotFound, http.StatusServiceUnavailable:
+					// 404/503 are legitimate before the first interval
+					// completes or while the loop reports stale.
+				default:
+					t.Errorf("%s returned %d mid-run", path, rr.Code)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Run returned %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("loop did not stop after cancellation")
+	}
+}

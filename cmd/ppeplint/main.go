@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	ppeplint [-C dir] [-json] [-stats file] [patterns...]
+//	ppeplint [-C dir] [-json] [-stats file] [-analyzers a,b|list] [patterns...]
 //
 // Patterns default to ./... relative to -C (default: current directory).
 // -json replaces the plain `file:line: [analyzer] message` lines with a
@@ -16,6 +16,9 @@
 // -stats writes a small JSON record (analyzed package count, findings,
 // suppressions — total and per analyzer — and wall time) consumed by
 // cmd/benchjson.
+// -analyzers runs only the named comma-separated subset (faster local
+// iteration; lets CI shard lint from tests); `-analyzers list` prints
+// the registry and exits.
 package main
 
 import (
@@ -24,6 +27,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"ppep/internal/lint"
@@ -57,7 +61,23 @@ func main() {
 	dir := flag.String("C", ".", "directory to run in (module root or below)")
 	statsPath := flag.String("stats", "", "write run statistics as JSON to this file")
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array instead of plain lines")
+	analyzers := flag.String("analyzers", "",
+		"comma-separated analyzers to run (default: all); 'list' prints the registry and exits")
 	flag.Parse()
+
+	if *analyzers == "list" {
+		for _, name := range lint.AnalyzerNames {
+			fmt.Println(name)
+		}
+		return
+	}
+	runNames := lint.AnalyzerNames
+	if *analyzers != "" {
+		runNames = strings.Split(*analyzers, ",")
+		for i, name := range runNames {
+			runNames[i] = strings.TrimSpace(name)
+		}
+	}
 
 	start := time.Now()
 	m, err := lint.Load(*dir, flag.Args()...)
@@ -65,7 +85,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ppeplint:", err)
 		os.Exit(2)
 	}
-	findings := m.Run(lint.DefaultConfig(m.Path))
+	findings, err := m.RunAnalyzers(lint.DefaultConfig(m.Path), runNames...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ppeplint:", err)
+		os.Exit(2)
+	}
 	wall := time.Since(start)
 
 	cwd, _ := os.Getwd() // best-effort; empty cwd falls back to absolute paths
@@ -113,9 +137,10 @@ func main() {
 			a.Findings++
 			perAnalyzer[f.Analyzer] = a
 		}
-		// Analyzers with nothing to report still appear, so the BENCH
-		// record shows the full suite ran (unitcheck included).
-		for _, name := range lint.AnalyzerNames {
+		// Analyzers with nothing to report still appear — but only the
+		// ones that actually ran, so a subset run's record does not
+		// claim coverage it did not have.
+		for _, name := range runNames {
 			if _, ok := perAnalyzer[name]; !ok {
 				perAnalyzer[name] = analyzerStats{}
 			}

@@ -1,0 +1,338 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// runAtomiccheck enforces the module's atomic-access discipline, the
+// static form of what the -race stress tests check probabilistically:
+//
+//   - Mixed access: a struct field or package-level variable that is
+//     accessed through a sync/atomic package function (&x.f passed to
+//     atomic.AddUint64 and friends) anywhere in the module must be
+//     accessed atomically everywhere. A plain load or store of such a
+//     location can tear against the atomic writer, and the race
+//     detector only catches the interleavings a given run happens to
+//     produce.
+//   - No copy: a value whose type contains a sync lock (Mutex,
+//     RWMutex, WaitGroup, Cond, Once, Pool, Map), a typed atomic
+//     (atomic.Uint64 and friends), or a mixed-access field from the
+//     first rule must never be copied — not by assignment, not by
+//     range-by-value, not by pass-by-value, not by returning a
+//     dereference. A copy silently forks the lock or counter state.
+//
+// Fresh construction is not a copy: composite literals and call
+// results on the right-hand side are accepted (the callee's signature
+// is checked where it is declared).
+//
+// Fields are matched by a stable "pkgpath.Type.field" key rather than
+// object identity: the defining package is type-checked from source
+// while its importers see it through export data, so the *types.Var
+// for one field differs between the two views.
+func runAtomiccheck(m *Module) []Finding {
+	c := &atomicChecker{
+		m:          m,
+		mixed:      map[string]bool{},
+		atomicSite: map[ast.Expr]bool{},
+		memo:       map[types.Type]string{},
+	}
+	for _, pkg := range m.Packages {
+		c.collect(pkg)
+	}
+	var fs []Finding
+	for _, pkg := range m.Packages {
+		c.checkPackage(pkg, &fs)
+	}
+	return fs
+}
+
+type atomicChecker struct {
+	m *Module
+	// mixed keys locations accessed via sync/atomic package functions:
+	// "pkgpath.Type.field" for struct fields, "pkgpath.var" for
+	// package-level variables.
+	mixed map[string]bool
+	// atomicSite marks the exact selector/ident nodes used inside
+	// sync/atomic calls, so the atomic accesses themselves pass.
+	atomicSite map[ast.Expr]bool
+	memo       map[types.Type]string
+}
+
+// syncNoCopy are the sync types whose zero-value-in-place contract a
+// copy breaks.
+var syncNoCopy = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true,
+	"Cond": true, "Once": true, "Pool": true, "Map": true,
+}
+
+// atomicTypes are the sync/atomic typed wrappers.
+var atomicTypes = map[string]bool{
+	"Bool": true, "Int32": true, "Int64": true, "Uint32": true,
+	"Uint64": true, "Uintptr": true, "Pointer": true, "Value": true,
+}
+
+// collect records every &x.f / &pkgVar passed as the first argument of
+// a sync/atomic package-level function.
+func (c *atomicChecker) collect(pkg *Package) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := calleeOf(pkg.Info, call)
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			if sig, _ := obj.Type().(*types.Signature); sig == nil || sig.Recv() != nil {
+				return true // typed-atomic method, not an addr-taking function
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			un, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND {
+				return true
+			}
+			switch target := ast.Unparen(un.X).(type) {
+			case *ast.SelectorExpr:
+				if sel := pkg.Info.Selections[target]; sel != nil && sel.Kind() == types.FieldVal {
+					if key := fieldKeyOf(sel); key != "" {
+						c.mixed[key] = true
+						c.atomicSite[target] = true
+					}
+				}
+			case *ast.Ident:
+				if v, ok := pkg.Info.Uses[target].(*types.Var); ok && isPackageLevel(v) {
+					c.mixed[varKeyOf(v)] = true
+					c.atomicSite[target] = true
+				}
+			}
+			return true
+		})
+	}
+}
+
+// fieldKeyOf derives the stable "pkgpath.Type.field" key of a selected
+// struct field by following the selection's index path to the type
+// that declares it (which, with embedding, may be an embedded type,
+// not the selection's receiver).
+func fieldKeyOf(sel *types.Selection) string {
+	t := sel.Recv()
+	idx := sel.Index()
+	for i, fi := range idx {
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, _ := t.(*types.Named)
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok || fi >= st.NumFields() {
+			return ""
+		}
+		f := st.Field(fi)
+		if i == len(idx)-1 {
+			if named == nil || named.Obj().Pkg() == nil {
+				return "" // field of an anonymous struct: unkeyable
+			}
+			return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + f.Name()
+		}
+		t = f.Type()
+	}
+	return ""
+}
+
+func varKeyOf(v *types.Var) string {
+	if v.Pkg() == nil {
+		return ""
+	}
+	return v.Pkg().Path() + "." + v.Name()
+}
+
+// noCopyReason reports why a value of type t must not be copied, or ""
+// if copying is fine. It descends into struct fields and array
+// elements only: a pointer, slice, map, or channel to a no-copy value
+// copies the reference, which is the correct usage.
+func (c *atomicChecker) noCopyReason(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if r, ok := c.memo[t]; ok {
+		return r
+	}
+	c.memo[t] = "" // breaks (impossible in valid Go, but cheap) cycles
+	r := c.computeNoCopy(t)
+	c.memo[t] = r
+	return r
+}
+
+func (c *atomicChecker) computeNoCopy(t types.Type) string {
+	switch tt := t.(type) {
+	case *types.Alias:
+		return c.noCopyReason(types.Unalias(tt))
+	case *types.Named:
+		obj := tt.Obj()
+		if obj.Pkg() != nil {
+			switch obj.Pkg().Path() {
+			case "sync":
+				if syncNoCopy[obj.Name()] {
+					return "sync." + obj.Name()
+				}
+			case "sync/atomic":
+				if atomicTypes[obj.Name()] {
+					return "atomic." + obj.Name()
+				}
+			}
+			if st, ok := tt.Underlying().(*types.Struct); ok {
+				owner := obj.Pkg().Path() + "." + obj.Name()
+				for i := 0; i < st.NumFields(); i++ {
+					if c.mixed[owner+"."+st.Field(i).Name()] {
+						return "atomically-accessed field " + st.Field(i).Name()
+					}
+				}
+			}
+		}
+		return c.noCopyReason(tt.Underlying())
+	case *types.Struct:
+		for i := 0; i < tt.NumFields(); i++ {
+			if r := c.noCopyReason(tt.Field(i).Type()); r != "" {
+				return r
+			}
+		}
+	case *types.Array:
+		return c.noCopyReason(tt.Elem())
+	}
+	return ""
+}
+
+// copiedValue reports whether e reads an existing value (so assigning,
+// passing, or returning it copies state), as opposed to constructing a
+// fresh one (composite literal, call result, conversion, &expr).
+func copiedValue(info *types.Info, e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		_, isVar := info.Uses[x].(*types.Var)
+		return isVar
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	}
+	return false
+}
+
+func (c *atomicChecker) checkPackage(pkg *Package, fs *[]Finding) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				c.checkMixedSelector(pkg, n, fs)
+			case *ast.Ident:
+				c.checkMixedIdent(pkg, n, fs)
+			case *ast.FuncDecl:
+				c.checkSignature(pkg, n.Recv, n.Type, fs)
+			case *ast.FuncLit:
+				c.checkSignature(pkg, nil, n.Type, fs)
+			case *ast.AssignStmt:
+				for _, rhs := range n.Rhs {
+					c.checkCopyExpr(pkg, rhs, "assignment copies", fs)
+				}
+			case *ast.ReturnStmt:
+				for _, r := range n.Results {
+					c.checkCopyExpr(pkg, r, "return copies", fs)
+				}
+			case *ast.CallExpr:
+				if pkg.Info.Types[n.Fun].IsType() {
+					return true // conversion: checked as its context's copy
+				}
+				for _, a := range n.Args {
+					c.checkCopyExpr(pkg, a, "call passes", fs)
+				}
+			case *ast.RangeStmt:
+				for _, e := range []ast.Expr{n.Key, n.Value} {
+					if e == nil {
+						continue
+					}
+					if r := c.noCopyReason(pkg.Info.TypeOf(e)); r != "" {
+						c.m.emit(fs, "atomiccheck", e.Pos(),
+							"range copies a %s value (contains %s); iterate by index or over pointers",
+							typeName(pkg.Info.TypeOf(e)), r)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func (c *atomicChecker) checkMixedSelector(pkg *Package, n *ast.SelectorExpr, fs *[]Finding) {
+	if c.atomicSite[n] {
+		return
+	}
+	sel := pkg.Info.Selections[n]
+	if sel == nil || sel.Kind() != types.FieldVal {
+		return
+	}
+	key := fieldKeyOf(sel)
+	if key == "" || !c.mixed[key] {
+		return
+	}
+	c.m.emit(fs, "atomiccheck", n.Sel.Pos(),
+		"%s is accessed with sync/atomic elsewhere in the module; this plain access can tear", key)
+}
+
+func (c *atomicChecker) checkMixedIdent(pkg *Package, n *ast.Ident, fs *[]Finding) {
+	if c.atomicSite[n] {
+		return
+	}
+	v, ok := pkg.Info.Uses[n].(*types.Var)
+	if !ok || !isPackageLevel(v) || !c.mixed[varKeyOf(v)] {
+		return
+	}
+	c.m.emit(fs, "atomiccheck", n.Pos(),
+		"%s is accessed with sync/atomic elsewhere in the module; this plain access can tear", varKeyOf(v))
+}
+
+func (c *atomicChecker) checkSignature(pkg *Package, recv *ast.FieldList, ft *ast.FuncType, fs *[]Finding) {
+	if recv != nil && len(recv.List) == 1 {
+		f := recv.List[0]
+		if _, ptr := ast.Unparen(f.Type).(*ast.StarExpr); !ptr {
+			if r := c.noCopyReason(pkg.Info.TypeOf(f.Type)); r != "" {
+				c.m.emit(fs, "atomiccheck", f.Type.Pos(),
+					"value receiver copies a %s (contains %s); use a pointer receiver",
+					typeName(pkg.Info.TypeOf(f.Type)), r)
+			}
+		}
+	}
+	if ft.Params == nil {
+		return
+	}
+	for _, f := range ft.Params.List {
+		t := pkg.Info.TypeOf(f.Type)
+		if _, variadic := f.Type.(*ast.Ellipsis); variadic {
+			continue // the slice carries pointers to nothing; elems are caller copies, flagged there
+		}
+		if r := c.noCopyReason(t); r != "" {
+			c.m.emit(fs, "atomiccheck", f.Type.Pos(),
+				"parameter passes a %s by value (contains %s); use a pointer", typeName(t), r)
+		}
+	}
+}
+
+func (c *atomicChecker) checkCopyExpr(pkg *Package, e ast.Expr, verb string, fs *[]Finding) {
+	if !copiedValue(pkg.Info, e) {
+		return
+	}
+	t := pkg.Info.TypeOf(e)
+	if r := c.noCopyReason(t); r != "" {
+		c.m.emit(fs, "atomiccheck", e.Pos(),
+			"%s a %s value (contains %s); use a pointer", verb, typeName(t), r)
+	}
+}
+
+// typeName renders a type for messages without the module prefix.
+func typeName(t types.Type) string {
+	if t == nil {
+		return "<unknown>"
+	}
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}

@@ -1,0 +1,298 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// runCtxcheck enforces context discipline in the long-running service
+// packages (cfg.CtxPkgs — the daemon loop, the HTTP layer, and the
+// campaign driver):
+//
+//   - Conditionless `for {}` loops with no break are the service
+//     loops; each must observe cancellation — a ctx.Done()/quit-channel
+//     receive, a select carrying one, or a ctx.Err() check — as an
+//     unconditional statement of the loop body, so every iteration
+//     sees a cancelled context. Observation buried under a condition
+//     is reported separately from no observation at all.
+//   - Exported functions whose bodies block directly (channel send or
+//     receive, select without default, sync.WaitGroup.Wait,
+//     sync.Cond.Wait, time.Sleep) must accept a context.Context, and
+//     it must be the first parameter. Goroutine bodies launched inside
+//     are the goroutine's problem (leakcheck's, in fact), not the
+//     caller's.
+//   - context.Context must not be stored in struct fields; contexts
+//     are call-scoped (this is the contract package context itself
+//     documents).
+func runCtxcheck(m *Module, cfg Config) []Finding {
+	var fs []Finding
+	for _, pkg := range m.Packages {
+		if !cfg.CtxPkgs[pkg.Path] {
+			continue
+		}
+		for _, f := range pkg.Files {
+			checkCtxFile(m, pkg, f, &fs)
+		}
+	}
+	return fs
+}
+
+func checkCtxFile(m *Module, pkg *Package, f *ast.File, fs *[]Finding) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.StructType:
+			for _, field := range n.Fields.List {
+				if isContextType(pkg.Info.TypeOf(field.Type)) {
+					m.emit(fs, "ctxcheck", field.Pos(),
+						"context.Context stored in a struct field; pass it as a call parameter instead")
+				}
+			}
+		case *ast.ForStmt:
+			checkServiceLoop(m, pkg, n, fs)
+		case *ast.FuncDecl:
+			checkExportedBlocking(m, pkg, n, fs)
+		}
+		return true
+	})
+}
+
+// checkServiceLoop applies the cancellation rule to one conditionless
+// loop. A loop with a break (targeting it) terminates on its own and is
+// exempt; `return` is not an exemption — in the service loops returns
+// are the cancellation exit itself or an error path, neither of which
+// bounds the loop.
+func checkServiceLoop(m *Module, pkg *Package, loop *ast.ForStmt, fs *[]Finding) {
+	if loop.Cond != nil || hasLoopBreak(loop.Body) {
+		return
+	}
+	for _, s := range loop.Body.List {
+		if stmtObservesCtx(pkg.Info, s) {
+			return
+		}
+	}
+	if nodeObservesCtx(pkg.Info, loop.Body) {
+		m.emit(fs, "ctxcheck", loop.Pos(),
+			"conditionless loop observes ctx.Done() only on some iteration paths; hoist the check to the top of the loop body")
+		return
+	}
+	m.emit(fs, "ctxcheck", loop.Pos(),
+		"conditionless loop never observes ctx.Done(); cancellation cannot stop it")
+}
+
+// hasLoopBreak reports whether body contains a break that exits the
+// enclosing loop: an unlabeled break not absorbed by a nested loop,
+// switch, or select — or, conservatively, any labeled break.
+func hasLoopBreak(body *ast.BlockStmt) bool {
+	found := false
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK {
+				found = true
+			}
+			return false
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			// Unlabeled breaks inside bind to n, not our loop. Labeled
+			// breaks still count; scan for just those.
+			ast.Inspect(n, func(inner ast.Node) bool {
+				if b, ok := inner.(*ast.BranchStmt); ok && b.Tok == token.BREAK && b.Label != nil {
+					found = true
+				}
+				return !found
+			})
+			return false
+		case *ast.FuncLit:
+			return false // a break in a closure cannot target our loop
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+	return found
+}
+
+// stmtObservesCtx reports whether s, as a direct (unconditionally
+// executed) statement of a loop body, observes cancellation: a select
+// with a done-channel case, an if whose condition checks ctx.Err(), or
+// a statement evaluating a done-channel receive or ctx.Err() call.
+func stmtObservesCtx(info *types.Info, s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.SelectStmt:
+		for _, clause := range s.Body.List {
+			cc, ok := clause.(*ast.CommClause)
+			if !ok || cc.Comm == nil {
+				continue
+			}
+			if nodeObservesCtx(info, cc.Comm) {
+				return true
+			}
+		}
+	case *ast.IfStmt:
+		return exprObservesCtx(info, s.Cond)
+	case *ast.ExprStmt:
+		return exprObservesCtx(info, s.X)
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			if exprObservesCtx(info, r) {
+				return true
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			if exprObservesCtx(info, r) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// nodeObservesCtx reports whether any expression under n observes
+// cancellation.
+func nodeObservesCtx(info *types.Info, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(inner ast.Node) bool {
+		if e, ok := inner.(ast.Expr); ok && exprObservesCtx(info, e) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// exprObservesCtx reports whether e itself is a cancellation
+// observation: a receive from a done channel (<-chan struct{}, which
+// covers ctx.Done() and hand-rolled quit channels) or a ctx.Err()
+// call.
+func exprObservesCtx(info *types.Info, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.UnaryExpr:
+		return e.Op == token.ARROW && isDoneChan(info.TypeOf(e.X))
+	case *ast.CallExpr:
+		if obj := calleeOf(info, e); obj != nil && obj.Pkg() != nil &&
+			obj.Pkg().Path() == "context" && (obj.Name() == "Err" || obj.Name() == "Done") {
+			return true
+		}
+	case *ast.BinaryExpr:
+		return exprObservesCtx(info, e.X) || exprObservesCtx(info, e.Y)
+	}
+	return false
+}
+
+// isDoneChan reports whether t is a receivable channel of struct{}.
+func isDoneChan(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	ch, ok := t.Underlying().(*types.Chan)
+	if !ok || ch.Dir() == types.SendOnly {
+		return false
+	}
+	st, ok := ch.Elem().Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	t = types.Unalias(t)
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// checkExportedBlocking applies the exported-API rules: a context
+// parameter anywhere must be first, and a directly-blocking body
+// requires one.
+func checkExportedBlocking(m *Module, pkg *Package, fd *ast.FuncDecl, fs *[]Finding) {
+	if !fd.Name.IsExported() || fd.Body == nil || fd.Type.Params == nil {
+		return
+	}
+	pos := 0
+	hasCtx := false
+	for _, field := range fd.Type.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if isContextType(pkg.Info.TypeOf(field.Type)) {
+			hasCtx = true
+			if pos != 0 {
+				m.emit(fs, "ctxcheck", field.Pos(),
+					"context.Context must be the first parameter of exported %s", fd.Name.Name)
+			}
+		}
+		pos += n
+	}
+	if hasCtx {
+		return
+	}
+	if op := firstBlockingOp(pkg.Info, fd.Body); op != "" {
+		m.emit(fs, "ctxcheck", fd.Name.Pos(),
+			"exported %s blocks (%s) but accepts no context.Context", fd.Name.Name, op)
+	}
+}
+
+// firstBlockingOp finds a blocking operation executed directly by
+// body (goroutine bodies excluded), returning a description or "".
+func firstBlockingOp(info *types.Info, body *ast.BlockStmt) string {
+	op := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if op != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			op = "channel send"
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				op = "channel receive"
+			}
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, clause := range n.Body.List {
+				if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				op = "select"
+				return false
+			}
+			// Non-blocking poll: its comm operations cannot block, but
+			// the chosen case's body still runs — walk only the bodies.
+			for _, clause := range n.Body.List {
+				if cc, ok := clause.(*ast.CommClause); ok && op == "" {
+					for _, s := range cc.Body {
+						if o := firstBlockingOp(info, &ast.BlockStmt{List: []ast.Stmt{s}}); o != "" {
+							op = o
+							break
+						}
+					}
+				}
+			}
+			return false
+		case *ast.CallExpr:
+			obj := calleeOf(info, n)
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			switch {
+			case obj.Pkg().Path() == "sync" && obj.Name() == "Wait":
+				op = obj.FullName()
+			case obj.FullName() == "time.Sleep":
+				op = "time.Sleep"
+			}
+		}
+		return op == ""
+	})
+	return op
+}

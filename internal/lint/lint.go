@@ -37,6 +37,7 @@ import (
 	"go/token"
 	"path"
 	"sort"
+	"strings"
 )
 
 // Finding is one analyzer report.
@@ -68,6 +69,11 @@ type Config struct {
 	// not traffic in bare float64 (unitcheck's API rule). The
 	// conversion and arithmetic rules run module-wide regardless.
 	UnitPkgs map[string]bool
+	// CtxPkgs are the long-running service packages the ctxcheck
+	// analyzer covers: their conditionless loops must observe
+	// cancellation and their exported blocking APIs must take a
+	// context. atomiccheck and leakcheck run module-wide regardless.
+	CtxPkgs map[string]bool
 }
 
 // DefaultConfig returns the analyzer scope for this repository: the
@@ -106,17 +112,29 @@ func DefaultConfig(modulePath string) Config {
 	} {
 		unitPkgs[path.Join(modulePath, p)] = true
 	}
+	ctxPkgs := map[string]bool{}
+	for _, p := range []string{
+		"internal/daemon",
+		"internal/serve",
+		"internal/experiments",
+	} {
+		ctxPkgs[path.Join(modulePath, p)] = true
+	}
 	return Config{
 		DeterminismPkgs: pkgs,
 		PoolFuncNames:   map[string]bool{"forEachJob": true},
 		UnitsPkg:        path.Join(modulePath, "internal/units"),
 		UnitPkgs:        unitPkgs,
+		CtxPkgs:         ctxPkgs,
 	}
 }
 
 // AnalyzerNames lists every analyzer, in report order. "directive" covers
 // the directive parser's own findings (malformed or unknown directives).
-var AnalyzerNames = []string{"hotpath", "determinism", "poolsafety", "errcheck", "unitcheck", "directive"}
+var AnalyzerNames = []string{
+	"hotpath", "determinism", "poolsafety", "errcheck", "unitcheck",
+	"atomiccheck", "ctxcheck", "leakcheck", "directive",
+}
 
 var knownAnalyzer = map[string]bool{
 	"hotpath":     true,
@@ -124,43 +142,80 @@ var knownAnalyzer = map[string]bool{
 	"poolsafety":  true,
 	"errcheck":    true,
 	"unitcheck":   true,
+	"atomiccheck": true,
+	"ctxcheck":    true,
+	"leakcheck":   true,
 	"directive":   true,
+}
+
+// runOne dispatches a single analyzer by name. Callers validate the
+// name against knownAnalyzer.
+func (m *Module) runOne(name string, cfg Config) []Finding {
+	switch name {
+	case "hotpath":
+		return runHotpath(m)
+	case "determinism":
+		return runDeterminism(m, cfg)
+	case "poolsafety":
+		return runPoolSafety(m, cfg)
+	case "errcheck":
+		return runErrcheck(m)
+	case "unitcheck":
+		return runUnitcheck(m, cfg)
+	case "atomiccheck":
+		return runAtomiccheck(m)
+	case "ctxcheck":
+		return runCtxcheck(m, cfg)
+	case "leakcheck":
+		return runLeakcheck(m)
+	case "directive":
+		return append([]Finding(nil), m.directiveFindings...)
+	}
+	return nil
 }
 
 // Run executes the full suite and returns the surviving findings sorted
 // by position. Suppressed findings count toward Suppressed(); allow
 // directives that suppressed nothing are reported as findings.
 func (m *Module) Run(cfg Config) []Finding {
-	var fs []Finding
-	fs = append(fs, m.directiveFindings...)
-	fs = append(fs, runHotpath(m)...)
-	fs = append(fs, runDeterminism(m, cfg)...)
-	fs = append(fs, runPoolSafety(m, cfg)...)
-	fs = append(fs, runErrcheck(m)...)
-	fs = append(fs, runUnitcheck(m, cfg)...)
-	fs = append(fs, m.unusedAllows("hotpath", "determinism", "poolsafety", "errcheck", "unitcheck")...)
-	sortFindings(fs)
+	fs, err := m.RunAnalyzers(cfg, AnalyzerNames...)
+	if err != nil {
+		// AnalyzerNames are all known; unreachable by construction.
+		panic(err)
+	}
 	return fs
+}
+
+// RunAnalyzers executes the named subset of analyzers (ppeplint
+// -analyzers). The unused-suppression check covers only the named
+// analyzers, so a subset run cannot flag allows owned by analyzers it
+// did not run. An unknown name is an error, not a silent no-op.
+func (m *Module) RunAnalyzers(cfg Config, names ...string) ([]Finding, error) {
+	var fs []Finding
+	var ran []string
+	seen := map[string]bool{}
+	for _, name := range names {
+		if !knownAnalyzer[name] {
+			return nil, fmt.Errorf("lint: unknown analyzer %q (known: %s)", name, strings.Join(AnalyzerNames, ", "))
+		}
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		fs = append(fs, m.runOne(name, cfg)...)
+		if name != "directive" {
+			ran = append(ran, name)
+		}
+	}
+	fs = append(fs, m.unusedAllows(ran...)...)
+	sortFindings(fs)
+	return fs, nil
 }
 
 // RunAnalyzer executes a single analyzer (plus its unused-suppression
 // check), used by the fixture tests to exercise analyzers in isolation.
 func (m *Module) RunAnalyzer(name string, cfg Config) []Finding {
-	var fs []Finding
-	switch name {
-	case "hotpath":
-		fs = runHotpath(m)
-	case "determinism":
-		fs = runDeterminism(m, cfg)
-	case "poolsafety":
-		fs = runPoolSafety(m, cfg)
-	case "errcheck":
-		fs = runErrcheck(m)
-	case "unitcheck":
-		fs = runUnitcheck(m, cfg)
-	case "directive":
-		fs = append(fs, m.directiveFindings...)
-	}
+	fs := m.runOne(name, cfg)
 	if name != "directive" {
 		fs = append(fs, m.unusedAllows(name)...)
 	}

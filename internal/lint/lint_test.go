@@ -40,6 +40,7 @@ func fixtureConfig() Config {
 		PoolFuncNames:   map[string]bool{"forEachJob": true},
 		UnitsPkg:        "fixture/units",
 		UnitPkgs:        map[string]bool{"fixture/unitcheck": true},
+		CtxPkgs:         map[string]bool{"fixture/ctxcheck": true},
 	}
 }
 
@@ -154,6 +155,31 @@ func TestPoolSafetyFixtures(t *testing.T)  { checkFixture(t, "poolsafety", "pool
 func TestErrcheckFixtures(t *testing.T)    { checkFixture(t, "errcheck", "errcheck") }
 func TestDirectiveFixtures(t *testing.T)   { checkFixture(t, "directive", "directives") }
 func TestUnitcheckFixtures(t *testing.T)   { checkFixture(t, "unitcheck", "unitcheck") }
+func TestAtomiccheckFixtures(t *testing.T) { checkFixture(t, "atomiccheck", "atomiccheck") }
+func TestCtxcheckFixtures(t *testing.T)    { checkFixture(t, "ctxcheck", "ctxcheck") }
+func TestLeakcheckFixtures(t *testing.T)   { checkFixture(t, "leakcheck", "leakcheck") }
+
+// TestRunAnalyzersSubset pins the -analyzers plumbing: a subset run
+// executes only the named analyzers, scopes the unused-suppression
+// check to them, and rejects unknown names.
+func TestRunAnalyzersSubset(t *testing.T) {
+	m := fixtureModule(t)
+	fs, err := m.RunAnalyzers(fixtureConfig(), "leakcheck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fs {
+		if f.Analyzer != "leakcheck" {
+			t.Errorf("subset run of leakcheck produced a %s finding: %s", f.Analyzer, f)
+		}
+	}
+	if len(fs) == 0 {
+		t.Error("subset run of leakcheck found nothing; the fixture guarantees findings")
+	}
+	if _, err := m.RunAnalyzers(fixtureConfig(), "leakcheck", "nosuch"); err == nil {
+		t.Error("RunAnalyzers accepted unknown analyzer name")
+	}
+}
 
 // TestFindingString pins the report format the Makefile and CI grep for.
 func TestFindingString(t *testing.T) {
@@ -193,10 +219,14 @@ func TestRepoClean(t *testing.T) {
 	// call in uarch and the trace encoder's amortized buffer growth (the
 	// old thread-restart allocation is gone — restarts reuse the slot via
 	// Core.Reset); the rest are the sanctioned dimensionless sites
-	// (docs/UNITS.md).
+	// (docs/UNITS.md). The concurrency analyzers rolled out with zero
+	// suppressions: every goroutine joins or cancels, the service loop
+	// observes ctx, and all shared counters are typed atomics behind
+	// pointer receivers — keep it that way.
 	by := m.SuppressedBy()
-	if by["hotpath"] != 2 || by["unitcheck"] != 33 {
-		t.Errorf("suppressed by analyzer = %v, want hotpath:2 unitcheck:33", by)
+	if by["hotpath"] != 2 || by["unitcheck"] != 33 ||
+		by["atomiccheck"] != 0 || by["ctxcheck"] != 0 || by["leakcheck"] != 0 {
+		t.Errorf("suppressed by analyzer = %v, want hotpath:2 unitcheck:33 and no concurrency-analyzer suppressions", by)
 	}
 }
 

@@ -1,0 +1,116 @@
+// Package atomiccheck is an analyzer fixture: fields accessed both
+// through sync/atomic and with plain loads/stores, and copies of
+// values carrying locks or atomics, next to the clean pointer-based
+// shapes the analyzer must accept.
+package atomiccheck
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// counters mixes an address-based atomic field with a typed one.
+type counters struct {
+	hits  uint64 // atomic: see bump
+	total atomic.Uint64
+}
+
+func (c *counters) bump() {
+	atomic.AddUint64(&c.hits, 1)
+	c.total.Add(1)
+}
+
+func (c *counters) readPlain() uint64 {
+	return c.hits // want "accessed with sync/atomic elsewhere"
+}
+
+func (c *counters) resetPlain() {
+	c.hits = 0 // want "accessed with sync/atomic elsewhere"
+}
+
+func (c *counters) readAtomic() uint64 {
+	return atomic.LoadUint64(&c.hits)
+}
+
+func snapshotCounters(c *counters) counters {
+	return *c // want "return copies a atomiccheck.counters value \\(contains atomically-accessed field hits\\)"
+}
+
+var pkgHits uint64
+
+func bumpPkg() { atomic.AddUint64(&pkgHits, 1) }
+
+func readPkgPlain() uint64 {
+	return pkgHits // want "accessed with sync/atomic elsewhere"
+}
+
+// guarded carries a mutex; copying it forks the lock state.
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func byValueParam(g guarded) int { // want "parameter passes a atomiccheck.guarded by value \\(contains sync.Mutex\\)"
+	return g.n
+}
+
+func byPointerParam(g *guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+func (g guarded) valueReceiver() int { // want "value receiver copies a atomiccheck.guarded"
+	return g.n
+}
+
+func assignCopy(g *guarded) {
+	h := *g // want "assignment copies a atomiccheck.guarded value"
+	_ = h.n
+}
+
+func rangeCopy(gs []guarded) int {
+	n := 0
+	for _, g := range gs { // want "range copies a atomiccheck.guarded value"
+		n += g.n
+	}
+	return n
+}
+
+func rangeByIndex(gs []guarded) int {
+	n := 0
+	for i := range gs {
+		n += gs[i].n
+	}
+	return n
+}
+
+func passesWaitGroup(wg sync.WaitGroup) { // want "parameter passes a sync.WaitGroup by value"
+	wg.Wait()
+}
+
+// stats embeds a typed atomic; passing it along copies the counter.
+type stats struct {
+	n atomic.Int64
+}
+
+func observe(s *stats, sink func(stats)) {
+	sink(*s) // want "call passes a atomiccheck.stats value \\(contains atomic.Int64\\)"
+}
+
+func fresh() guarded {
+	return guarded{n: 1} // composite literal: construction, not a copy
+}
+
+func aggregate() int {
+	// The allow form: a deliberate copy of a never-shared value.
+	var g guarded
+	//ppep:allow atomiccheck g is function-local and never shared
+	h := g
+	return h.n
+}
+
+// want "unused //ppep:allow suppression"
+//
+//ppep:allow atomiccheck nothing here copies a lock
+func noCopyHere() int { return 7 }

@@ -1,0 +1,126 @@
+// Package ctxcheck is an analyzer fixture: service loops that ignore
+// cancellation, exported blocking APIs without a context, and stored
+// contexts, next to the observing shapes the analyzer must accept.
+package ctxcheck
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+func work() {}
+
+func step() bool { return true }
+
+func spinNever() {
+	for { // want "never observes ctx.Done"
+		work()
+	}
+}
+
+func spinConditional(ctx context.Context, needReset bool) {
+	for { // want "observes ctx.Done\\(\\) only on some iteration paths"
+		if needReset {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+			}
+		}
+		work()
+	}
+}
+
+func runClean(ctx context.Context) error {
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+		work()
+	}
+}
+
+func errClean(ctx context.Context) error {
+	for {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		work()
+	}
+}
+
+func quitClean(quit chan struct{}) {
+	for {
+		select {
+		case <-quit:
+			return
+		default:
+		}
+		work()
+	}
+}
+
+func boundedByBreak() {
+	for {
+		if step() {
+			break
+		}
+	}
+}
+
+func WaitAll(wg *sync.WaitGroup) { // want "blocks .* but accepts no context.Context"
+	wg.Wait()
+}
+
+func Pace() { // want "blocks \\(time.Sleep\\) but accepts no context.Context"
+	time.Sleep(time.Millisecond)
+}
+
+func Drain(ch chan int) int { // want "blocks \\(channel receive\\) but accepts no context.Context"
+	return <-ch
+}
+
+func DrainCtx(ctx context.Context, ch chan int) int {
+	select {
+	case <-ctx.Done():
+		return 0
+	case v := <-ch:
+		return v
+	}
+}
+
+func Poll(ch chan int) int { // non-blocking select: accepted
+	select {
+	case v := <-ch:
+		return v
+	default:
+		return 0
+	}
+}
+
+func Misplaced(n int, ctx context.Context) { // want "context.Context must be the first parameter"
+	_ = n
+	_ = ctx
+}
+
+type held struct {
+	ctx context.Context // want "context.Context stored in a struct field"
+	n   int
+}
+
+func (h *held) N() int { return h.n }
+
+// Launch's blocking send lives in the goroutine it launches; the
+// launcher itself does not block (that goroutine is leakcheck's beat).
+func Launch(ctx context.Context, done chan struct{}) {
+	go func() {
+		work()
+		select {
+		case done <- struct{}{}:
+		case <-ctx.Done():
+		}
+	}()
+}

@@ -1,0 +1,106 @@
+// Package leakcheck is an analyzer fixture: goroutines launched with
+// and without a provable join or cancel.
+package leakcheck
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+func work() {}
+
+func run() error { return errors.New("boom") }
+
+func pump(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+		work()
+	}
+}
+
+func fireNamed() {
+	go work() // want "no provable join or cancel"
+}
+
+func fireLit() {
+	go func() { // want "no provable join or cancel"
+		work()
+	}()
+}
+
+func joinedByWaitGroup(n int) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+func doneWithoutAdd() {
+	var wg sync.WaitGroup
+	go func() { // want "no provable join or cancel"
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+func joinedByChannel() error {
+	errc := make(chan error, 1)
+	go func() { errc <- run() }()
+	return <-errc
+}
+
+func joinedInSelect(ctx context.Context) error {
+	errc := make(chan error, 1)
+	go func() { errc <- run() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func sendWithoutReceive() {
+	errc := make(chan error, 1)
+	go func() { // want "no provable join or cancel"
+		errc <- run()
+	}()
+}
+
+func cancelledBody(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+			}
+			work()
+		}
+	}()
+}
+
+func namedWithCtx(ctx context.Context) {
+	go pump(ctx)
+}
+
+func monitor() {
+	//ppep:allow leakcheck process-lifetime watcher, exits with main
+	go work()
+}
+
+// want "unused //ppep:allow suppression"
+//
+//ppep:allow leakcheck nothing launched here
+func noGoroutineHere() { work() }

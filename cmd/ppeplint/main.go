@@ -1,7 +1,10 @@
 // Command ppeplint runs the module's custom static-analysis suite
 // (internal/lint): hotpath allocation-freedom, simulation determinism,
-// worker-pool safety, dropped-error checks, and unitcheck dimensional
-// analysis. It is stdlib-only and exits non-zero on any unsuppressed
+// worker-pool safety, dropped-error checks, unitcheck dimensional
+// analysis, and the concurrency pack — atomiccheck (consistent atomic
+// access, no copied locks), ctxcheck (cancellation-aware service
+// loops), and leakcheck (goroutine join/cancel proofs). It is
+// stdlib-only and exits non-zero on any unsuppressed
 // finding, so `make lint` / `make ci` can gate merges on it. See
 // docs/LINTING.md and docs/UNITS.md.
 //

@@ -21,6 +21,16 @@
 //     exported model APIs must not traffic in bare float64, and
 //     cross-unit conversions or unit-annihilating float64 casts must go
 //     through named conversion helpers (docs/UNITS.md).
+//   - atomiccheck: a location accessed via sync/atomic anywhere is
+//     accessed atomically everywhere, and values containing locks,
+//     typed atomics, or such fields are never copied.
+//   - ctxcheck: service loops in the long-running packages observe
+//     cancellation unconditionally each iteration, blocking exported
+//     APIs there take a leading context.Context, and contexts are not
+//     stored in struct fields.
+//   - leakcheck: every go statement has a provable join (WaitGroup
+//     pairing, channel send/receive) or cancel (ctx/quit observation);
+//     fire-and-forget requires an explicit //ppep:allow.
 //
 // Exceptions are declared in the source as
 //

@@ -3,7 +3,7 @@
 GO ?= go
 LINT_STATS := /tmp/ppeplint-stats.json
 
-.PHONY: all test lint fmt-check ci smoke smoke-cache bench bench-guard bench-all experiments flagship fmt vet tools
+.PHONY: all test lint fmt-check ci smoke smoke-cache loadgen-smoke bench bench-guard bench-all experiments flagship fmt vet tools
 
 all: test
 
@@ -28,6 +28,7 @@ ci: fmt-check
 	$(GO) test -race ./...
 	$(MAKE) smoke
 	$(MAKE) smoke-cache
+	$(MAKE) loadgen-smoke
 	$(MAKE) bench-guard
 
 # Service-mode smoke test: the httptest endpoint suite plus the
@@ -47,6 +48,15 @@ smoke-cache:
 	echo "$$out" | grep 'trace cache' && \
 	echo "$$out" | grep -q 'misses=0 ' || { echo "smoke-cache: warm run re-simulated (want misses=0)"; exit 1; }
 
+# Serving-layer smoke test: ppep-loadgen spins up an in-process ppepd
+# (slim training, loopback port) and drives a short closed loop against
+# /predict/batch; non-trivial throughput and a loose p99 ceiling are
+# asserted by the tool itself (exit 1 on violation). The bounds are
+# deliberately lax — CI machines are noisy; BENCH_fxsim.json carries
+# the real numbers via BenchmarkPredictServe.
+loadgen-smoke:
+	$(GO) run ./cmd/ppep-loadgen -self -duration 2s -c 16 -binary -min-rps 1000 -max-p99 250ms
+
 # Tick-loop microbenchmarks plus the cold/warm trace-cache campaign
 # pair, summarized into a committable JSON record (mean over -count=5
 # samples; see cmd/benchjson — the cache benchmarks' hit/miss/bytes
@@ -54,7 +64,7 @@ smoke-cache:
 # package count and wall time ride along under the "ppeplint" key.
 bench:
 	$(GO) run ./cmd/ppeplint -stats $(LINT_STATS)
-	$(GO) test -run xxx -bench '^(BenchmarkChipTick|BenchmarkTickN|BenchmarkTickNJittered|BenchmarkFleetTick|BenchmarkEventPrediction|BenchmarkServeInterval|BenchmarkCampaignColdCache|BenchmarkCampaignWarmCache)$$' \
+	$(GO) test -run xxx -bench '^(BenchmarkChipTick|BenchmarkTickN|BenchmarkTickNJittered|BenchmarkFleetTick|BenchmarkEventPrediction|BenchmarkServeInterval|BenchmarkPredictServe|BenchmarkCampaignColdCache|BenchmarkCampaignWarmCache)$$' \
 		-benchmem -count=5 . | $(GO) run ./cmd/benchjson -lint $(LINT_STATS) > BENCH_fxsim.json
 	rm -f $(LINT_STATS)
 	cat BENCH_fxsim.json

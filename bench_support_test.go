@@ -104,7 +104,7 @@ func benchmarkFleetTick(b *testing.B) {
 // benchmarkServeDaemon assembles the service-mode stack on a busy chip:
 // a history-bounded daemon with the HTTP observability layer wired
 // through OnInterval, exactly as `ppepd -serve` runs it.
-func benchmarkServeDaemon(b *testing.B, c *experiments.Campaign) *daemon.Daemon {
+func benchmarkServeDaemon(b *testing.B, c *experiments.Campaign) (*daemon.Daemon, *serve.Server) {
 	b.Helper()
 	cfg := fxsim.DefaultFX8320Config()
 	cfg.IdealSensor = true
@@ -124,8 +124,7 @@ func benchmarkServeDaemon(b *testing.B, c *experiments.Campaign) *daemon.Daemon 
 	if err != nil {
 		b.Fatal(err)
 	}
-	serve.New(d, serve.Options{})
-	return d
+	return d, serve.New(d, serve.Options{})
 }
 
 // TestBenchHarnessSmoke keeps the benchmark harness correct under plain

@@ -11,10 +11,17 @@
 package main
 
 import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 
 	"ppep/internal/experiments"
+	"ppep/internal/loadgen"
+	"ppep/internal/serve"
 )
 
 var (
@@ -285,7 +292,7 @@ func BenchmarkEventPrediction(b *testing.B) {
 // `ppepd -serve` excluding wall-clock pacing.
 func BenchmarkServeInterval(b *testing.B) {
 	c := benchCampaign(b)
-	d := benchmarkServeDaemon(b, c)
+	d, _ := benchmarkServeDaemon(b, c)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := d.RunIntervals(1); err != nil {
@@ -293,6 +300,74 @@ func BenchmarkServeInterval(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkPredictServe measures the prediction read path two ways.
+// The timed loop is the in-process cost of one /predict/batch request
+// through the full mux — the pointer-load-plus-byte-write the published
+// table buys (ns/op, B/op). After the loop, a short closed-loop burst
+// over a real TCP socket (internal/loadgen, binary encoding, live
+// pointer swaps underneath) reports end-to-end throughput and tail
+// latency as rps / p50_ns / p99_ns / p999_ns custom metrics, which
+// benchjson lands in BENCH_fxsim.json.
+func BenchmarkPredictServe(b *testing.B) {
+	c := benchCampaign(b)
+	d, srv := benchmarkServeDaemon(b, c)
+	if err := d.RunIntervals(2); err != nil {
+		b.Fatal(err)
+	}
+	h := srv.Handler()
+	req := httptest.NewRequest(http.MethodGet, "/predict/batch", nil)
+	req.Header.Set("Accept", serve.BatchContentType)
+	w := nullBenchWriter{h: make(http.Header)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.ServeHTTP(w, req)
+	}
+	b.StopTimer()
+
+	// End-to-end burst: real socket, concurrent workers, tables
+	// republishing underneath. The loop is paced as in deployment —
+	// unpaced it simulates intervals flat out and starves the server's
+	// goroutines of CPU, measuring the simulator instead of the serving
+	// path.
+	d.Throttle = func() { time.Sleep(2 * time.Millisecond) }
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	httpDone := make(chan error, 1)
+	loopDone := make(chan error, 1)
+	go func() { httpDone <- srv.Serve(ctx, ln) }()
+	go func() { loopDone <- d.Run(ctx) }()
+	res, err := loadgen.Run(ctx, loadgen.Options{
+		URL: "http://" + ln.Addr().String(), Conns: 16,
+		Duration: 400 * time.Millisecond, Binary: true,
+	})
+	cancel()
+	<-httpDone
+	<-loopDone
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.Requests == 0 || res.Errors == res.Requests {
+		b.Fatalf("degenerate burst: %+v", res)
+	}
+	b.ReportMetric(res.RPS(), "rps")
+	b.ReportMetric(float64(res.Hist.Quantile(0.50)), "p50_ns")
+	b.ReportMetric(float64(res.Hist.Quantile(0.99)), "p99_ns")
+	b.ReportMetric(float64(res.Hist.Quantile(0.999)), "p999_ns")
+}
+
+// nullBenchWriter mirrors the serve package's alloc-test writer: body
+// discarded, header map reused, so the timed loop sees only the
+// handler's own work.
+type nullBenchWriter struct{ h http.Header }
+
+func (w nullBenchWriter) Header() http.Header         { return w.h }
+func (w nullBenchWriter) Write(p []byte) (int, error) { return len(p), nil }
+func (w nullBenchWriter) WriteHeader(int)             {}
 
 // BenchmarkDynEstimate measures one Equation 3 evaluation.
 func BenchmarkDynEstimate(b *testing.B) {

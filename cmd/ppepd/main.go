@@ -10,7 +10,11 @@
 // context-cancellable goroutine that shuts down cleanly on SIGINT or
 // SIGTERM, report history is bounded by a ring buffer, device reads are
 // retried with backoff, and an HTTP layer exposes /metrics, /reports,
-// /reports/latest, /predict?vf=N, and /healthz (see docs/DAEMON.md).
+// /reports/latest, /predict?vf=N, /predict/batch (all VF states in one
+// response, JSON or binary via Accept), and /healthz (see
+// docs/DAEMON.md). Prediction responses are pre-rendered once per
+// interval and served lock-free; cmd/ppep-loadgen measures what that
+// sustains.
 //
 // Usage:
 //

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"ppep/internal/arch"
+	"ppep/internal/units"
+)
+
+// TestPredictionTable pins the Report → PredictionTable flattening: the
+// rows mirror the projections exactly, the derived E/D-space numbers
+// follow their definitions, and the measured context rides along.
+func TestPredictionTable(t *testing.T) {
+	m, ts := miniCampaign(t)
+	iv := ts.Runs[0].Trace.Intervals[1]
+	rep, err := m.Analyze(iv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := m.PredictionTable(42, iv, rep)
+
+	if tab.Seq != 42 {
+		t.Errorf("seq %d, want 42", tab.Seq)
+	}
+	if float64(tab.TimeS) != iv.TimeS || float64(tab.DurS) != iv.DurS {
+		t.Errorf("interval clock %v/%v, want %v/%v", tab.TimeS, tab.DurS, iv.TimeS, iv.DurS)
+	}
+	if tab.MeasuredVF != rep.MeasuredVF {
+		t.Errorf("measured VF %v, want %v", tab.MeasuredVF, rep.MeasuredVF)
+	}
+	if float64(tab.MeasPowerW) != iv.MeasPowerW || tab.TempK != rep.TempK {
+		t.Error("measured power/temperature not carried over")
+	}
+	if len(tab.Rows) != len(rep.PerVF) {
+		t.Fatalf("%d rows, want %d", len(tab.Rows), len(rep.PerVF))
+	}
+	for i, row := range tab.Rows {
+		proj := rep.PerVF[i]
+		if row.VF != arch.VFState(i+1) {
+			t.Errorf("row %d is %v", i, row.VF)
+		}
+		if row.ChipW != proj.ChipW || row.IdleW != proj.IdleW || row.DynW != proj.DynW ||
+			row.TotalIPS != proj.TotalIPS || row.IntervalEnergyJ != proj.IntervalEnergyJ {
+			t.Errorf("%v: row diverges from projection", row.VF)
+		}
+		if proj.TotalIPS <= 0 {
+			t.Fatalf("%v: training interval unexpectedly idle", row.VF)
+		}
+		if want := proj.ChipW.PerRate(proj.TotalIPS); row.JPerInst != want {
+			t.Errorf("%v: J/inst %v, want %v", row.VF, row.JPerInst, want)
+		}
+		if want := row.JPerInst.TimesDelay(proj.TotalIPS.Invert()); row.EDP != want {
+			t.Errorf("%v: EDP %v, want %v", row.VF, row.EDP, want)
+		}
+		// One busy core retiring TotalIPS at this state's clock.
+		busy := 0
+		for _, c := range proj.PerCoreCPI {
+			if c > 0 {
+				busy++
+			}
+		}
+		want := m.Table.Point(row.VF).Freq.AggregateCPI(busy, proj.TotalIPS)
+		if math.Abs(float64(row.CPI-want)) > 1e-12 {
+			t.Errorf("%v: CPI %v, want %v", row.VF, row.CPI, want)
+		}
+		if row.CPI <= 0 {
+			t.Errorf("%v: non-positive CPI for a busy interval", row.VF)
+		}
+	}
+	if tab.Row(arch.VF3) != tab.Rows[2] {
+		t.Error("Row accessor misindexed")
+	}
+}
+
+// TestPredictionTableIdle pins the zero-throughput convention: E/D-space
+// coordinates are 0 (JSON-encodable), never +Inf.
+func TestPredictionTableIdle(t *testing.T) {
+	m, ts := miniCampaign(t)
+	idle := ts.IdleTraces[arch.VF3].Intervals
+	iv := idle[len(idle)-1]
+	rep, err := m.Analyze(iv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := m.PredictionTable(1, iv, rep)
+	for _, row := range tab.Rows {
+		if row.TotalIPS != 0 {
+			// The idle trace keeps cores unbound; any throughput means
+			// the fixture changed, not that the convention broke.
+			t.Skipf("idle interval reports IPS %v", row.TotalIPS)
+		}
+		if row.CPI != 0 || row.JPerInst != 0 || row.EDP != units.EDP(0) {
+			t.Errorf("%v: idle row carries non-zero derived values: %+v", row.VF, row)
+		}
+		if math.IsInf(float64(row.EDP), 0) || math.IsNaN(float64(row.EDP)) {
+			t.Errorf("%v: EDP not finite", row.VF)
+		}
+	}
+}

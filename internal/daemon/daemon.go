@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"ppep/internal/arch"
 	"ppep/internal/core"
@@ -65,6 +66,13 @@ type Daemon struct {
 
 	counters  Counters
 	lastTempK float64
+
+	// published is the latest per-VF projection table, swapped in whole
+	// at every interval end. Readers (the HTTP layer, policies on other
+	// goroutines) load it lock-free; each table is immutable once
+	// stored, so a loaded pointer stays coherent for as long as the
+	// reader holds it.
+	published atomic.Pointer[core.PredictionTable]
 
 	mu      sync.Mutex
 	history *Ring[Record]
@@ -140,6 +148,12 @@ func (d *Daemon) Latest() (Record, bool) {
 	return d.history.Last()
 }
 
+// Predictions returns the most recently published per-VF projection
+// table, or nil before the first completed interval. The table is
+// immutable and the load is lock-free, so it can be read from any
+// goroutine at any rate without perturbing sampling.
+func (d *Daemon) Predictions() *core.PredictionTable { return d.published.Load() }
+
 // Intervals returns the retained measurement intervals, oldest first.
 func (d *Daemon) Intervals() []trace.Interval {
 	d.mu.Lock()
@@ -212,6 +226,10 @@ func (d *Daemon) step() (Record, error) {
 	rec := Record{Seq: d.seq, Interval: iv, Report: rep}
 	d.history.Push(rec)
 	d.mu.Unlock()
+	// Publish before the observer hook runs so OnInterval consumers
+	// (the HTTP layer's response pre-rendering) see this interval's
+	// table, never the previous one.
+	d.published.Store(d.Models.PredictionTable(rec.Seq, iv, rep))
 	d.counters.Intervals.Add(1)
 	if d.Policy != nil {
 		d.Policy.Apply(d.chip, iv, rep)

@@ -360,7 +360,9 @@ func TestSamplerGroupRotation(t *testing.T) {
 // budget is 3 allocs for the interval's owned slices (Counters,
 // PerCoreVF, Busy — the history ring retains them, so they cannot be
 // pooled), 4 fixed allocs in Models.Analyze (Report + PerVF backing
-// plus the two shared projection arrays), and the ring's boxed Record;
+// plus the two shared projection arrays), the ring's boxed Record, and
+// 2 for the published prediction table (the table and its rows — both
+// retained by lock-free readers, so they cannot be pooled either);
 // everything else must come from pre-sized or reused buffers.
 func TestServeIntervalAllocs(t *testing.T) {
 	chip := busyChip(t, false)
@@ -378,7 +380,7 @@ func TestServeIntervalAllocs(t *testing.T) {
 			t.Fatal(err)
 		}
 	})
-	const ceiling = 11 // was 29 before the encode/analyze buffer reuse
+	const ceiling = 13 // was 29 before the encode/analyze buffer reuse; +2 for the published table
 	if n > ceiling {
 		t.Errorf("service interval allocates %.1f times, want <= %d", n, ceiling)
 	}

@@ -1,0 +1,171 @@
+package loadgen
+
+import (
+	"context"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestBucketIndexMonotone pins the index math: indices never decrease
+// with the value, and every bucket's upper edge lands back in the same
+// bucket (the round-trip that quantile reporting relies on).
+func TestBucketIndexMonotone(t *testing.T) {
+	last := -1
+	for _, v := range []int64{0, 1, 15, 16, 17, 31, 32, 63, 64, 1000,
+		1e6, 1e9, 1e12, math.MaxInt64 / 2} {
+		idx := bucketIndex(v)
+		if idx < last {
+			t.Fatalf("bucketIndex(%d) = %d < previous %d", v, idx, last)
+		}
+		if idx >= numBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range", v, idx)
+		}
+		if back := bucketIndex(bucketHigh(idx)); back != idx {
+			t.Errorf("bucketHigh(%d) = %d maps back to bucket %d", idx, bucketHigh(idx), back)
+		}
+		last = idx
+	}
+}
+
+// TestHistogramQuantiles records a known distribution and checks the
+// percentiles land within the histogram's ~6% relative error.
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 1000 observations: 1..1000 µs, uniformly.
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if h.Max() != 1000*time.Microsecond {
+		t.Errorf("max %v", h.Max())
+	}
+	for _, c := range []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 500 * time.Microsecond},
+		{0.90, 900 * time.Microsecond},
+		{0.99, 990 * time.Microsecond},
+		{0.999, 999 * time.Microsecond},
+		{1.0, 1000 * time.Microsecond},
+	} {
+		got := h.Quantile(c.q)
+		// Upper-edge reporting: got must be >= the true quantile and
+		// within one bucket width (6.25%) above it.
+		if got < c.want || float64(got) > float64(c.want)*1.07 {
+			t.Errorf("p%g = %v, want within [%v, %v]", 100*c.q, got, c.want, time.Duration(float64(c.want)*1.07))
+		}
+	}
+
+	var empty Histogram
+	if empty.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile not 0")
+	}
+}
+
+// TestHistogramMerge pins that merging equals recording into one.
+func TestHistogramMerge(t *testing.T) {
+	var a, b, whole Histogram
+	for i := 1; i <= 100; i++ {
+		d := time.Duration(i*i) * time.Microsecond
+		whole.Record(d)
+		if i%2 == 0 {
+			a.Record(d)
+		} else {
+			b.Record(d)
+		}
+	}
+	a.Merge(&b)
+	if a.Count() != whole.Count() || a.Max() != whole.Max() {
+		t.Fatalf("merged count/max %d/%v, want %d/%v", a.Count(), a.Max(), whole.Count(), whole.Max())
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 1} {
+		if a.Quantile(q) != whole.Quantile(q) {
+			t.Errorf("p%g diverges after merge: %v vs %v", 100*q, a.Quantile(q), whole.Quantile(q))
+		}
+	}
+}
+
+// TestRunAgainstServer drives a short closed loop against a local
+// server and checks the accounting: every worker contributes, errors
+// are zero, and the negotiated Accept header arrives.
+func TestRunAgainstServer(t *testing.T) {
+	var sawBinary atomic.Bool
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get("Accept") == batchContentType {
+			sawBinary.Store(true)
+		}
+		_, _ = w.Write([]byte(`{"ok":true}`))
+	}))
+	defer srv.Close()
+
+	res, err := Run(context.Background(), Options{
+		URL: srv.URL, Conns: 4, Duration: 300 * time.Millisecond, Binary: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests == 0 {
+		t.Fatal("no requests completed")
+	}
+	if res.Errors != 0 {
+		t.Errorf("%d errors against a healthy server", res.Errors)
+	}
+	if res.Hist.Count() != res.Requests {
+		t.Errorf("histogram count %d != requests %d", res.Hist.Count(), res.Requests)
+	}
+	if res.RPS() <= 0 || res.Hist.Quantile(0.5) <= 0 {
+		t.Errorf("degenerate result: %+v", res)
+	}
+	if !sawBinary.Load() {
+		t.Error("Binary option did not set the Accept header")
+	}
+
+	// Error accounting: a 500-only server yields Requests == Errors.
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer bad.Close()
+	res, err = Run(context.Background(), Options{URL: bad.URL, Conns: 2, Duration: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests == 0 || res.Errors != res.Requests {
+		t.Errorf("bad server: %d errors of %d requests, want all", res.Errors, res.Requests)
+	}
+
+	if _, err := Run(context.Background(), Options{}); err == nil {
+		t.Error("missing URL not rejected")
+	}
+}
+
+// TestRunHonoursCancel pins that an early cancel stops the loop well
+// before the configured duration.
+func TestRunHonoursCancel(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res, err := Run(ctx, Options{URL: srv.URL, Conns: 2, Duration: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if took := time.Since(start); took > 5*time.Second {
+		t.Fatalf("cancel took %v to stop the loop", took)
+	}
+	if res.Requests == 0 {
+		t.Error("no requests before cancel")
+	}
+}

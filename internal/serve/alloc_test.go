@@ -1,0 +1,56 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"ppep/internal/daemon"
+)
+
+// nullResponseWriter is a ResponseWriter that discards the body and
+// reuses one header map, so AllocsPerRun sees only the handler's own
+// allocations — httptest.ResponseRecorder clones the header map per
+// WriteHeader and grows a body buffer, which would drown the signal.
+type nullResponseWriter struct{ h http.Header }
+
+func (w nullResponseWriter) Header() http.Header         { return w.h }
+func (w nullResponseWriter) Write(b []byte) (int, error) { return len(b), nil }
+func (w nullResponseWriter) WriteHeader(int)             {}
+
+// TestPredictAllocs pins the read path's allocation budget: a predict
+// request — through the full request mux, not just the handler — is a
+// pointer load plus a write of pre-rendered bytes. The only alloc left
+// is Header().Set's []string value; the ceiling of 2 leaves exactly one
+// slot of headroom. If this fails, something on the hot path started
+// rendering, parsing, or locking per request — fix that rather than
+// raising the ceiling.
+func TestPredictAllocs(t *testing.T) {
+	d, err := daemon.AttachOpts(busyChip(t), models(t), nil, daemon.Options{HistoryCap: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(d, Options{})
+	h := srv.Handler()
+	if err := d.RunIntervals(2); err != nil {
+		t.Fatal(err)
+	}
+
+	binReq := httptest.NewRequest(http.MethodGet, "/predict/batch", nil)
+	binReq.Header.Set("Accept", BatchContentType)
+	cases := []struct {
+		name string
+		req  *http.Request
+	}{
+		{"predict", httptest.NewRequest(http.MethodGet, "/predict?vf=3", nil)},
+		{"batch JSON", httptest.NewRequest(http.MethodGet, "/predict/batch", nil)},
+		{"batch binary", binReq},
+	}
+	w := nullResponseWriter{h: make(http.Header)}
+	const budget = 2.0
+	for _, c := range cases {
+		if got := testing.AllocsPerRun(500, func() { h.ServeHTTP(w, c.req) }); got > budget {
+			t.Errorf("%s: %.1f allocs/request, budget %.0f", c.name, got, budget)
+		}
+	}
+}

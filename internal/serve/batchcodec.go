@@ -1,0 +1,173 @@
+// Binary encoding for /predict/batch, in the style of
+// internal/tracecodec: a versioned magic-tagged layout, floats carried
+// as raw IEEE-754 bits (so a decoded table is bit-identical to the
+// published one), and a bounds-checked decoder that degrades corrupt
+// input to an error instead of a panic or a partial table.
+//
+// Layout (all integers little-endian):
+//
+//	magic "PPBT" | u32 BatchSchemaVersion
+//	u64 seq | f64 time_s | f64 dur_s | f64 measured_power_w | f64 temp_k
+//	u32 measured_vf | u32 nRows
+//	per row: u32 vf | f64 ×8 (cpi ips chip_w idle_w dyn_w interval_energy_j j_per_inst edp)
+//
+// Clients ask for it with `Accept: application/x-ppep-batch`; anything
+// else gets JSON. The binary form is ~5× smaller than the JSON and
+// needs no float parsing on the client — the load-generator's preferred
+// diet at tens of thousands of requests per second.
+package serve
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"ppep/internal/arch"
+	"ppep/internal/core"
+	"ppep/internal/units"
+)
+
+// BatchContentType is the negotiated media type of the binary encoding.
+const BatchContentType = "application/x-ppep-batch"
+
+// BatchSchemaVersion identifies the binary layout. Bump it whenever the
+// frame layout or the semantics of any field change; old clients then
+// see ErrBatchSchema instead of silently misreading.
+const BatchSchemaVersion = 1
+
+const batchMagic = "PPBT"
+
+var (
+	// ErrBatchSchema reports a frame written by a different schema
+	// version — a mismatch, not damage.
+	ErrBatchSchema = errors.New("serve: batch schema mismatch")
+	// ErrBatchCorrupt reports structurally inconsistent bytes.
+	ErrBatchCorrupt = errors.New("serve: corrupt batch frame")
+)
+
+const (
+	batchHeaderSize = 4 + 4 + 8 + 4*8 + 4 + 4 // magic, version, seq, 4 floats, vf, nRows
+	batchRowSize    = 4 + 8*8                 // vf + 8 floats
+)
+
+// EncodeBatch serializes a prediction table into a fresh byte slice.
+// It runs once per published interval (not per request), so the single
+// allocation is deliberate: the result is retained by the lock-free
+// response snapshot for as long as readers hold it.
+func EncodeBatch(t *core.PredictionTable) []byte {
+	b := make([]byte, batchHeaderSize+batchRowSize*len(t.Rows))
+	off := copy(b, batchMagic)
+	binary.LittleEndian.PutUint32(b[off:], BatchSchemaVersion)
+	off += 4
+	binary.LittleEndian.PutUint64(b[off:], t.Seq)
+	off += 8
+	off = putBatchF64(b, off, float64(t.TimeS))
+	off = putBatchF64(b, off, float64(t.DurS))
+	off = putBatchF64(b, off, float64(t.MeasPowerW))
+	off = putBatchF64(b, off, float64(t.TempK))
+	binary.LittleEndian.PutUint32(b[off:], uint32(t.MeasuredVF))
+	off += 4
+	binary.LittleEndian.PutUint32(b[off:], uint32(len(t.Rows)))
+	off += 4
+	for i := range t.Rows {
+		r := &t.Rows[i]
+		binary.LittleEndian.PutUint32(b[off:], uint32(r.VF))
+		off += 4
+		off = putBatchF64(b, off, float64(r.CPI))
+		off = putBatchF64(b, off, float64(r.TotalIPS))
+		off = putBatchF64(b, off, float64(r.ChipW))
+		off = putBatchF64(b, off, float64(r.IdleW))
+		off = putBatchF64(b, off, float64(r.DynW))
+		off = putBatchF64(b, off, float64(r.IntervalEnergyJ))
+		off = putBatchF64(b, off, float64(r.JPerInst))
+		off = putBatchF64(b, off, float64(r.EDP))
+	}
+	return b[:off]
+}
+
+func putBatchF64(b []byte, off int, x float64) int {
+	binary.LittleEndian.PutUint64(b[off:], math.Float64bits(x))
+	return off + 8
+}
+
+// batchReader is a bounds-checked cursor over an encoded frame; every
+// take flips ok to false instead of slicing past the end.
+type batchReader struct {
+	b   []byte
+	off int
+	ok  bool
+}
+
+func (r *batchReader) take(n int) []byte {
+	if !r.ok || n < 0 || len(r.b)-r.off < n {
+		r.ok = false
+		return nil
+	}
+	s := r.b[r.off : r.off+n]
+	r.off += n
+	return s
+}
+
+func (r *batchReader) u32() uint32 {
+	if s := r.take(4); s != nil {
+		return binary.LittleEndian.Uint32(s)
+	}
+	return 0
+}
+
+func (r *batchReader) u64() uint64 {
+	if s := r.take(8); s != nil {
+		return binary.LittleEndian.Uint64(s)
+	}
+	return 0
+}
+
+func (r *batchReader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+// DecodeBatch parses a binary /predict/batch response. The decoded
+// table is bit-identical to the one the server published.
+func DecodeBatch(data []byte) (*core.PredictionTable, error) {
+	r := &batchReader{b: data, ok: true}
+	if string(r.take(4)) != batchMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBatchCorrupt)
+	}
+	if v := r.u32(); v != BatchSchemaVersion {
+		return nil, fmt.Errorf("%w: version %d, want %d", ErrBatchSchema, v, BatchSchemaVersion)
+	}
+	t := &core.PredictionTable{Seq: r.u64()}
+	t.TimeS = units.Seconds(r.f64())
+	t.DurS = units.Seconds(r.f64())
+	t.MeasPowerW = units.Watts(r.f64())
+	t.TempK = units.Kelvin(r.f64())
+	t.MeasuredVF = arch.VFState(r.u32())
+	nRows := int(r.u32())
+	if !r.ok {
+		return nil, fmt.Errorf("%w: truncated header", ErrBatchCorrupt)
+	}
+	if nRows < 0 || nRows > (len(data)-r.off)/batchRowSize {
+		return nil, fmt.Errorf("%w: row count %d exceeds data", ErrBatchCorrupt, nRows)
+	}
+	if nRows > 0 {
+		t.Rows = make([]core.PredictionRow, nRows)
+	}
+	for i := range t.Rows {
+		row := &t.Rows[i]
+		row.VF = arch.VFState(r.u32())
+		row.CPI = units.CPI(r.f64())
+		row.TotalIPS = units.InstPerSec(r.f64())
+		row.ChipW = units.Watts(r.f64())
+		row.IdleW = units.Watts(r.f64())
+		row.DynW = units.Watts(r.f64())
+		row.IntervalEnergyJ = units.Joules(r.f64())
+		row.JPerInst = units.JoulesPerInst(r.f64())
+		row.EDP = units.EDP(r.f64())
+	}
+	if !r.ok {
+		return nil, fmt.Errorf("%w: truncated rows", ErrBatchCorrupt)
+	}
+	if rem := len(data) - r.off; rem != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBatchCorrupt, rem)
+	}
+	return t, nil
+}

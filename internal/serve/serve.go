@@ -2,14 +2,26 @@
 // service (`ppepd -serve`): it exposes the daemon's live per-VF
 // performance/power/energy projections in Prometheus text format
 // (/metrics), the bounded report history as JSON (/reports,
-// /reports/latest), on-demand cross-VF projections (/predict?vf=N), and
-// stale-interval liveness (/healthz).
+// /reports/latest), cross-VF projections (/predict?vf=N and
+// /predict/batch), and loop liveness (/healthz).
 //
 // The deployment shape follows the paper's Section IV-E user-level
 // daemon: the sampling/analyze/policy loop runs as one
 // context-cancellable goroutine (daemon.Run) while this package's
-// handlers only read the daemon's history ring and counters — they never
-// touch the chip, so no endpoint can perturb sampling.
+// handlers only read published state — they never touch the chip or the
+// models, so no endpoint can perturb sampling.
+//
+// Prediction reads are O(1) and lock-free: at every interval end the
+// daemon publishes an immutable per-VF projection table
+// (core.PredictionTable) and Observe pre-renders every response body —
+// one JSON blob per VF state, the batch JSON, and the batch binary
+// frame — into an immutable snapshot behind an atomic pointer. A
+// /predict or /predict/batch request is then a pointer load and a
+// buffer write: zero model work, zero encoding, and at most two heap
+// allocations per request (pinned by TestPredictAllocs). The paper's
+// one-observation-prices-all-states property is what makes this shape
+// possible: the full cross-VF answer is a fixed-size table, so it can
+// be materialized eagerly no matter how many clients ask.
 package serve
 
 import (
@@ -18,8 +30,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -35,13 +49,57 @@ import (
 // leaves it zero.
 const DefaultStaleAfter = 5 * time.Second
 
-// Options tunes the server.
+// DefaultStartupGrace is how long /healthz tolerates spin-up (no
+// completed interval yet) before reporting 503, when Options leaves it
+// zero. Model training and workload binding legitimately take far
+// longer than a steady-state interval gap, so the startup budget is
+// separate from — and much larger than — StaleAfter.
+const DefaultStartupGrace = 60 * time.Second
+
+// Default HTTP server timeouts (see Options). A slow or stalled client
+// must never be able to pin a connection, and with them unset it could:
+// net/http's zero values mean "wait forever".
+const (
+	DefaultReadHeaderTimeout = 5 * time.Second
+	DefaultReadTimeout       = 15 * time.Second
+	DefaultWriteTimeout      = 15 * time.Second
+	DefaultIdleTimeout       = 2 * time.Minute
+)
+
+// Options tunes the server. Duration fields follow one convention:
+// zero picks the package default, negative disables the limit.
 type Options struct {
-	// StaleAfter is how long /healthz tolerates no completed interval
-	// before reporting 503 (default DefaultStaleAfter).
+	// StaleAfter is how long /healthz tolerates no completed interval —
+	// after at least one has completed — before reporting 503 (default
+	// DefaultStaleAfter).
 	StaleAfter time.Duration
+	// StartupGrace is how long /healthz reports a healthy "starting"
+	// before the first completed interval (default DefaultStartupGrace).
+	// Past it the status stays "starting" but turns 503: a wedged
+	// spin-up must not look healthy forever.
+	StartupGrace time.Duration
+
+	// ReadHeaderTimeout, ReadTimeout, WriteTimeout, and IdleTimeout are
+	// passed to the underlying http.Server (defaults above).
+	ReadHeaderTimeout time.Duration
+	ReadTimeout       time.Duration
+	WriteTimeout      time.Duration
+	IdleTimeout       time.Duration
+
 	// Now replaces time.Now for staleness arithmetic (tests).
 	Now func() time.Time
+}
+
+// timeoutOr resolves one Options duration: zero → default, negative →
+// disabled (0, net/http's "no limit").
+func timeoutOr(v, def time.Duration) time.Duration {
+	if v == 0 {
+		return def
+	}
+	if v < 0 {
+		return 0
+	}
+	return v
 }
 
 // Server renders a daemon's state over HTTP.
@@ -53,13 +111,34 @@ type Server struct {
 	// interval, maintained by Observe from the sampling goroutine.
 	lastWallNanos atomic.Int64
 	startWall     time.Time
+
+	// pub is the pre-rendered response snapshot for the current
+	// prediction table, swapped whole by Observe. Handlers load it once
+	// and write bytes; nil until the first interval completes.
+	pub atomic.Pointer[published]
+}
+
+// published pairs one prediction table with every response body
+// rendered from it. All fields are immutable after construction.
+type published struct {
+	table *core.PredictionTable
+	// perVF holds the /predict?vf=N response bodies, index VF-1.
+	perVF [][]byte
+	// batchJSON and batchBin are the /predict/batch bodies in both
+	// negotiable encodings.
+	batchJSON []byte
+	batchBin  []byte
 }
 
 // New wires a server onto the daemon: the daemon's OnInterval callback
-// is chained through Observe so /healthz can detect a stalled loop.
+// is chained through Observe so /healthz can detect a stalled loop and
+// the prediction snapshot tracks the published table.
 func New(d *daemon.Daemon, opts Options) *Server {
 	if opts.StaleAfter <= 0 {
 		opts.StaleAfter = DefaultStaleAfter
+	}
+	if opts.StartupGrace <= 0 {
+		opts.StartupGrace = DefaultStartupGrace
 	}
 	if opts.Now == nil {
 		opts.Now = time.Now
@@ -75,11 +154,49 @@ func New(d *daemon.Daemon, opts Options) *Server {
 	return s
 }
 
-// Observe stamps a completed interval against the wall clock. It is the
-// daemon's OnInterval hook; exported so alternative loop drivers (tests,
-// benchmarks) can call it directly.
+// Observe stamps a completed interval against the wall clock and
+// refreshes the pre-rendered prediction snapshot from the daemon's
+// published table. It is the daemon's OnInterval hook; exported so
+// alternative loop drivers (tests, benchmarks) can call it directly.
+// It runs on the sampling goroutine once per 200 ms interval — the
+// rendering cost lives here precisely so no request ever pays it.
 func (s *Server) Observe(daemon.Record) {
 	s.lastWallNanos.Store(s.opts.Now().UnixNano())
+	t := s.d.Predictions()
+	if t == nil {
+		return
+	}
+	if old := s.pub.Load(); old != nil && old.table == t {
+		return // driver called Observe twice for one interval
+	}
+	p := &published{
+		table:     t,
+		perVF:     make([][]byte, len(t.Rows)),
+		batchJSON: renderJSON(t),
+		batchBin:  EncodeBatch(t),
+	}
+	for i := range t.Rows {
+		p.perVF[i] = renderJSON(prediction{
+			Seq:        t.Seq,
+			TimeS:      t.TimeS,
+			MeasuredVF: t.MeasuredVF,
+			Projection: t.Rows[i],
+		})
+	}
+	s.pub.Store(p)
+}
+
+// renderJSON encodes v in the package's response style (two-space
+// indent, trailing newline). The encoded values are plain finite
+// numbers by construction (core.PredictionTable carries no ±Inf/NaN),
+// so an encode error is a programming bug — it degrades to an empty
+// body rather than a panic on the sampling goroutine.
+func renderJSON(v any) []byte {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil
+	}
+	return append(b, '\n')
 }
 
 // Handler returns the route mux.
@@ -89,18 +206,50 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /reports", s.handleReports)
 	mux.HandleFunc("GET /reports/latest", s.handleLatest)
 	mux.HandleFunc("GET /predict", s.handlePredict)
+	mux.HandleFunc("GET /predict/batch", s.handlePredictBatch)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
+}
+
+// httpServer builds the configured http.Server for addr. Split out of
+// ListenAndServe so tests can assert the timeout wiring without
+// binding a socket.
+func (s *Server) httpServer(addr string) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: timeoutOr(s.opts.ReadHeaderTimeout, DefaultReadHeaderTimeout),
+		ReadTimeout:       timeoutOr(s.opts.ReadTimeout, DefaultReadTimeout),
+		WriteTimeout:      timeoutOr(s.opts.WriteTimeout, DefaultWriteTimeout),
+		IdleTimeout:       timeoutOr(s.opts.IdleTimeout, DefaultIdleTimeout),
+	}
 }
 
 // ListenAndServe serves the handler on addr until ctx is cancelled, then
 // shuts down gracefully (in-flight requests get shutdownGrace). It
 // returns nil on a clean ctx-driven shutdown.
 func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	return s.run(ctx, s.httpServer(addr), nil)
+}
+
+// Serve is ListenAndServe on an existing listener — callers that need
+// to know the bound address (e.g. ppep-loadgen's self-contained mode
+// binding 127.0.0.1:0) listen first and pass the listener in. The
+// listener is closed when serving stops.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	return s.run(ctx, s.httpServer(ln.Addr().String()), ln)
+}
+
+func (s *Server) run(ctx context.Context, srv *http.Server, ln net.Listener) error {
 	const shutdownGrace = 3 * time.Second
-	srv := &http.Server{Addr: addr, Handler: s.Handler()}
 	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
+	go func() {
+		if ln != nil {
+			errc <- srv.Serve(ln)
+			return
+		}
+		errc <- srv.ListenAndServe()
+	}()
 	select {
 	case err := <-errc:
 		return err // bind failure or unexpected server death
@@ -146,10 +295,10 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // handleReports returns the retained history, oldest first. ?n=K limits
-// the response to the newest K records.
+// the response to the newest K records (?n=0 is a valid empty window).
 func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
 	recs := s.d.Records()
-	if q := r.URL.Query().Get("n"); q != "" {
+	if q, ok := queryValue(r.URL.RawQuery, "n"); ok {
 		n, err := strconv.Atoi(q)
 		if err != nil || n < 0 {
 			http.Error(w, fmt.Sprintf("bad n %q: want a non-negative integer", q), http.StatusBadRequest)
@@ -173,39 +322,83 @@ func (s *Server) handleLatest(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, rec)
 }
 
-// prediction is the /predict response: one VF state's projection from
-// the latest interval.
+// prediction is the /predict response: one VF state's published
+// projection row from the latest interval.
 type prediction struct {
-	Seq       uint64          `json:"seq"`
-	TimeS     float64         `json:"time_s"`
-	Measured  arch.VFState    `json:"measured_vf"`
-	Projected core.Projection `json:"projection"`
+	Seq        uint64             `json:"seq"`
+	TimeS      units.Seconds      `json:"time_s"`
+	MeasuredVF arch.VFState       `json:"measured_vf"`
+	Projection core.PredictionRow `json:"projection"`
 }
 
-// handlePredict returns the latest report's projection at ?vf=N.
-func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
-	rec, ok := s.d.Latest()
-	if !ok {
-		http.Error(w, "no interval completed yet", http.StatusNotFound)
-		return
+// queryValue extracts one key's value from a raw query string without
+// allocating (url.Values would build a map per request on the hot read
+// path). No percent-unescaping is performed — the predict parameters
+// are plain integers, and a value that needed escaping will simply
+// fail integer parsing downstream.
+func queryValue(raw, key string) (string, bool) {
+	for raw != "" {
+		pair := raw
+		if i := strings.IndexByte(raw, '&'); i >= 0 {
+			pair, raw = raw[:i], raw[i+1:]
+		} else {
+			raw = ""
+		}
+		if k, v, found := strings.Cut(pair, "="); found && k == key {
+			return v, true
+		} else if !found && pair == key {
+			return "", true
+		}
 	}
-	q := r.URL.Query().Get("vf")
-	if q == "" {
+	return "", false
+}
+
+// handlePredict returns the latest published projection at ?vf=N.
+// Parameter validation runs first: a malformed request is 400 whether
+// or not an interval has completed yet (it used to be 404 before the
+// first interval, hiding the client's bug behind the server's state).
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	q, ok := queryValue(r.URL.RawQuery, "vf")
+	if !ok || q == "" {
 		http.Error(w, "missing vf parameter (want vf=1..N)", http.StatusBadRequest)
 		return
 	}
+	nStates := len(s.d.Models.Table)
 	n, err := strconv.Atoi(q)
-	if err != nil || n < 1 || n > len(rec.Report.PerVF) {
-		http.Error(w, fmt.Sprintf("bad vf %q: want 1..%d", q, len(rec.Report.PerVF)),
-			http.StatusBadRequest)
+	if err != nil || n < 1 || n > nStates {
+		http.Error(w, fmt.Sprintf("bad vf %q: want 1..%d", q, nStates), http.StatusBadRequest)
 		return
 	}
-	writeJSON(w, http.StatusOK, prediction{
-		Seq:       rec.Seq,
-		TimeS:     rec.Interval.TimeS,
-		Measured:  rec.Report.MeasuredVF,
-		Projected: rec.Report.At(arch.VFState(n)),
-	})
+	p := s.pub.Load()
+	if p == nil {
+		http.Error(w, "no interval completed yet", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	// best-effort: the client may have gone away mid-response
+	_, _ = w.Write(p.perVF[n-1])
+}
+
+// handlePredictBatch returns every VF state's projection in one
+// response — the paper's whole point, one observation prices all
+// states, as a single read. The body is pre-rendered JSON, or the
+// binary frame (batchcodec.go) when the client sends
+// `Accept: application/x-ppep-batch`.
+func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
+	p := s.pub.Load()
+	if p == nil {
+		http.Error(w, "no interval completed yet", http.StatusNotFound)
+		return
+	}
+	if strings.Contains(r.Header.Get("Accept"), BatchContentType) {
+		w.Header().Set("Content-Type", BatchContentType)
+		// best-effort: the client may have gone away mid-response
+		_, _ = w.Write(p.batchBin)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	// best-effort: the client may have gone away mid-response
+	_, _ = w.Write(p.batchJSON)
 }
 
 // health is the /healthz response body.
@@ -215,57 +408,64 @@ type health struct {
 	AgeS      float64 `json:"last_interval_age_s"`
 }
 
-// handleHealthz reports loop liveness: 200 while intervals keep
-// completing within StaleAfter, 503 once they stop (a wedged or dead
-// sampling goroutine), and 200 "starting" during initial model/loop
-// spin-up before the first interval.
+// handleHealthz reports loop liveness. Before the first completed
+// interval the status is "starting": 200 within StartupGrace (model
+// spin-up is slow but healthy), 503 past it (a wedged spin-up). After
+// the first interval the status is "ok" while intervals keep completing
+// within StaleAfter and "stale"/503 once they stop — a loop that has
+// proven it can complete intervals is held to the tighter bound.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	now := s.opts.Now()
 	h := health{Intervals: s.d.Counters().Intervals.Load()}
 	last := s.lastWallNanos.Load()
-	var since time.Duration
 	if last == 0 {
 		h.Status = "starting"
-		since = now.Sub(s.startWall)
-	} else {
-		h.Status = "ok"
-		since = now.Sub(time.Unix(0, last))
+		since := now.Sub(s.startWall)
+		h.AgeS = since.Seconds()
+		status := http.StatusOK
+		if since > s.opts.StartupGrace {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, h)
+		return
 	}
+	since := now.Sub(time.Unix(0, last))
 	h.AgeS = since.Seconds()
 	if since > s.opts.StaleAfter {
 		h.Status = "stale"
 		writeJSON(w, http.StatusServiceUnavailable, h)
 		return
 	}
+	h.Status = "ok"
 	writeJSON(w, http.StatusOK, h)
 }
 
-// handleMetrics renders the Prometheus text exposition: the latest
-// report's per-VF projections as gauges plus the daemon's operational
-// counters.
+// handleMetrics renders the Prometheus text exposition: the published
+// table's per-VF projections as gauges plus the daemon's operational
+// counters. Like the predict handlers it reads only the published
+// pointer and atomic counters — no daemon lock.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	b := getBuf()
 	defer bufPool.Put(b)
-	rec, ok := s.d.Latest()
-	if ok {
+	if p := s.pub.Load(); p != nil {
+		t := p.table
 		gauge(b, "ppep_measured_power", "Sensor-measured chip power over the last interval.",
-			units.Watts(rec.Interval.MeasPowerW))
-		gauge(b, "ppep_diode_temp", "Socket thermal diode reading.",
-			units.Kelvin(rec.Interval.TempK).Celsius())
+			t.MeasPowerW)
+		gauge(b, "ppep_diode_temp", "Socket thermal diode reading.", t.TempK.Celsius())
 		gauge(b, "ppep_measured_freq", "Core clock of the VF state the last interval ran at.",
-			s.d.Models.Table.Point(rec.Report.MeasuredVF).Freq.MegaHertz())
+			s.d.Models.Table.Point(t.MeasuredVF).Freq.MegaHertz())
 		gauge(b, "ppep_measured_vf_state", "VF state the last interval ran at.",
-			float64(rec.Report.MeasuredVF))
+			float64(t.MeasuredVF))
 		gauge(b, "ppep_interval_seq", "Sequence number of the last completed interval.",
-			float64(rec.Seq))
+			float64(t.Seq))
 		perVF(b, "ppep_predicted_chip", "Predicted chip power at each VF state.",
-			rec, func(p core.Projection) units.Watts { return p.ChipW })
+			t.Rows, func(r core.PredictionRow) units.Watts { return r.ChipW })
 		perVF(b, "ppep_predicted_idle", "Predicted idle power at each VF state.",
-			rec, func(p core.Projection) units.Watts { return p.IdleW })
+			t.Rows, func(r core.PredictionRow) units.Watts { return r.IdleW })
 		perVF(b, "ppep_predicted", "Predicted chip-wide instructions per second at each VF state.",
-			rec, func(p core.Projection) units.InstPerSec { return p.TotalIPS })
+			t.Rows, func(r core.PredictionRow) units.InstPerSec { return r.TotalIPS })
 		perVF(b, "ppep_predicted_interval", "Predicted energy of one decision interval at each VF state.",
-			rec, func(p core.Projection) units.Joules { return p.IntervalEnergyJ })
+			t.Rows, func(r core.PredictionRow) units.Joules { return r.IntervalEnergyJ })
 	}
 	for _, c := range counterRows(s.d.Counters().Snapshot(), s.d.EngineStats()) {
 		counter(b, c.name, c.help, c.val)
@@ -313,12 +513,12 @@ func counter(b *bytes.Buffer, name, help string, v uint64) {
 	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 }
 
-// perVF renders one gauge with a vf label per projection, with the unit
-// suffix derived from the projection field's type like gauge.
-func perVF[T ~float64](b *bytes.Buffer, base, help string, rec daemon.Record, f func(core.Projection) T) {
+// perVF renders one gauge with a vf label per published row, with the
+// unit suffix derived from the row field's type like gauge.
+func perVF[T ~float64](b *bytes.Buffer, base, help string, rows []core.PredictionRow, f func(core.PredictionRow) T) {
 	name := base + units.Suffix(T(0))
 	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
-	for _, p := range rec.Report.PerVF {
-		fmt.Fprintf(b, "%s{vf=\"%d\"} %g\n", name, int(p.VF), float64(f(p)))
+	for _, r := range rows {
+		fmt.Fprintf(b, "%s{vf=\"%d\"} %g\n", name, int(r.VF), float64(f(r)))
 	}
 }

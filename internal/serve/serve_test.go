@@ -115,7 +115,7 @@ func TestServeEndpoints(t *testing.T) {
 		t.Fatal(err)
 	}
 	clock := &fakeClock{t: time.Unix(1000, 0)}
-	srv := New(d, Options{StaleAfter: 2 * time.Second, Now: clock.Now})
+	srv := New(d, Options{StaleAfter: 2 * time.Second, StartupGrace: 4 * time.Second, Now: clock.Now})
 	h := srv.Handler()
 
 	// Before the first interval: healthz reports "starting", the report
@@ -129,12 +129,24 @@ func TestServeEndpoints(t *testing.T) {
 	if code, _ := get(t, h, "/predict?vf=3"); code != http.StatusNotFound {
 		t.Errorf("pre-interval /predict = %d, want 404", code)
 	}
+	if code, _ := get(t, h, "/predict/batch"); code != http.StatusNotFound {
+		t.Errorf("pre-interval /predict/batch = %d, want 404", code)
+	}
 
-	// A loop that never completes an interval goes stale even from
-	// "starting" — a wedged spin-up must not report healthy forever.
+	// Slow spin-up is healthy "starting" while within StartupGrace —
+	// the old behaviour called it "stale" the moment StaleAfter passed,
+	// even though no interval had ever completed.
 	clock.Advance(3 * time.Second)
-	if code, body := get(t, h, "/healthz"); code != http.StatusServiceUnavailable || !strings.Contains(body, `"stale"`) {
-		t.Errorf("wedged-startup healthz %d %q, want 503 stale", code, body)
+	if code, body := get(t, h, "/healthz"); code != http.StatusOK || !strings.Contains(body, `"starting"`) {
+		t.Errorf("in-grace startup healthz %d %q, want 200 starting", code, body)
+	}
+
+	// But a spin-up that outlives the grace is unhealthy: still
+	// "starting" (no interval has ever completed, so it cannot be
+	// "stale"), yet 503 — a wedged startup must not look healthy forever.
+	clock.Advance(3 * time.Second)
+	if code, body := get(t, h, "/healthz"); code != http.StatusServiceUnavailable || !strings.Contains(body, `"starting"`) {
+		t.Errorf("wedged-startup healthz %d %q, want 503 starting", code, body)
 	}
 
 	if err := d.RunIntervals(5); err != nil {
@@ -219,17 +231,20 @@ func TestServeEndpoints(t *testing.T) {
 				t.Fatalf("/predict?vf=%d = %d", vf, code)
 			}
 			var p struct {
-				Seq       uint64          `json:"seq"`
-				Projected core.Projection `json:"projection"`
+				Seq        uint64             `json:"seq"`
+				Projection core.PredictionRow `json:"projection"`
 			}
 			if err := json.Unmarshal([]byte(body), &p); err != nil {
 				t.Fatal(err)
 			}
-			if int(p.Projected.VF) != vf {
-				t.Errorf("vf=%d returned projection for VF %d", vf, p.Projected.VF)
+			if p.Seq != 5 {
+				t.Errorf("vf=%d seq %d, want 5", vf, p.Seq)
 			}
-			if p.Projected.ChipW <= 0 || p.Projected.TotalIPS <= 0 {
-				t.Errorf("vf=%d projection empty: %+v", vf, p.Projected)
+			if int(p.Projection.VF) != vf {
+				t.Errorf("vf=%d returned projection for VF %d", vf, p.Projection.VF)
+			}
+			if p.Projection.ChipW <= 0 || p.Projection.TotalIPS <= 0 || p.Projection.EDP <= 0 {
+				t.Errorf("vf=%d projection empty: %+v", vf, p.Projection)
 			}
 		}
 		for _, bad := range []string{"/predict", "/predict?vf=0", "/predict?vf=6", "/predict?vf=abc"} {

@@ -144,6 +144,13 @@ func (f GigaHertz) OverCPI(c CPI) InstPerSec {
 	return InstPerSec(float64(f) * 1e9 / float64(c))
 }
 
+// AggregateCPI returns total cycles over total instructions for n cores
+// clocked at f retiring r instructions per second in aggregate:
+// n·f[cycles/s] / r[inst/s] = cycles/inst.
+func (f GigaHertz) AggregateCPI(n int, r InstPerSec) CPI {
+	return CPI(float64(n) * float64(f) * 1e9 / float64(r))
+}
+
 // --- Duration conversions ---
 
 // Milliseconds converts seconds to ms.

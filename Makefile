@@ -2,8 +2,13 @@
 
 GO ?= go
 LINT_STATS := /tmp/ppeplint-stats.json
+# perfcheck's raw compiler-transcript cache (ppeplint -gcflags-cache):
+# content-hash keyed, so repeat runs over an unchanged tree skip the
+# -gcflags='-m -m -d=ssa/check_bce/debug=1' compile. CI persists this
+# directory with actions/cache.
+GCFLAGS_CACHE ?= .gcflags-cache
 
-.PHONY: all test lint fmt-check ci smoke smoke-cache loadgen-smoke bench bench-guard bench-all experiments flagship fmt vet tools
+.PHONY: all test lint lint-perf fmt-check ci smoke smoke-cache loadgen-smoke bench bench-guard bench-all experiments flagship fmt vet tools
 
 all: test
 
@@ -15,7 +20,14 @@ test: lint
 # ppeplint: the module's own static-analysis suite (internal/lint).
 # Non-zero exit on any unsuppressed finding; see docs/LINTING.md.
 lint:
-	$(GO) run ./cmd/ppeplint
+	$(GO) run ./cmd/ppeplint -gcflags-cache $(GCFLAGS_CACHE)
+
+# perfcheck alone: the compiler-diagnostics budgets (hot-path escapes,
+# //ppep:inline verdicts, //ppep:nobc residual bounds checks). The
+# fastest loop while tuning a hot function — everything else in the
+# suite is skipped and the transcript cache absorbs the compile.
+lint-perf:
+	$(GO) run ./cmd/ppeplint -analyzers=perfcheck -gcflags-cache $(GCFLAGS_CACHE)
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -24,7 +36,8 @@ fmt-check:
 # The full merge gate, mirrored by .github/workflows/ci.yml.
 ci: fmt-check
 	$(GO) vet ./...
-	$(GO) run ./cmd/ppeplint
+	$(GO) run ./cmd/ppeplint -gcflags-cache $(GCFLAGS_CACHE)
+	$(MAKE) lint-perf
 	$(GO) test -race ./...
 	$(MAKE) smoke
 	$(MAKE) smoke-cache
@@ -63,7 +76,7 @@ loadgen-smoke:
 # counters land under each record's "metrics" key). The ppeplint run's
 # package count and wall time ride along under the "ppeplint" key.
 bench:
-	$(GO) run ./cmd/ppeplint -stats $(LINT_STATS)
+	$(GO) run ./cmd/ppeplint -stats $(LINT_STATS) -gcflags-cache $(GCFLAGS_CACHE)
 	$(GO) test -run xxx -bench '^(BenchmarkChipTick|BenchmarkTickN|BenchmarkTickNJittered|BenchmarkFleetTick|BenchmarkEventPrediction|BenchmarkServeInterval|BenchmarkPredictServe|BenchmarkCampaignColdCache|BenchmarkCampaignWarmCache)$$' \
 		-benchmem -count=5 . | $(GO) run ./cmd/benchjson -lint $(LINT_STATS) > BENCH_fxsim.json
 	rm -f $(LINT_STATS)

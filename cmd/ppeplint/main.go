@@ -1,27 +1,33 @@
 // Command ppeplint runs the module's custom static-analysis suite
 // (internal/lint): hotpath allocation-freedom, simulation determinism,
 // worker-pool safety, dropped-error checks, unitcheck dimensional
-// analysis, and the concurrency pack — atomiccheck (consistent atomic
+// analysis, the concurrency pack — atomiccheck (consistent atomic
 // access, no copied locks), ctxcheck (cancellation-aware service
-// loops), and leakcheck (goroutine join/cancel proofs). It is
-// stdlib-only and exits non-zero on any unsuppressed
+// loops), and leakcheck (goroutine join/cancel proofs) — and perfcheck,
+// which compiles the module with -gcflags='-m -m
+// -d=ssa/check_bce/debug=1' and holds the hot paths to the compiler's
+// own verdicts (escape analysis, inlining, residual bounds checks). It
+// is stdlib-only and exits non-zero on any unsuppressed
 // finding, so `make lint` / `make ci` can gate merges on it. See
 // docs/LINTING.md and docs/UNITS.md.
 //
 // Usage:
 //
-//	ppeplint [-C dir] [-json] [-stats file] [-analyzers a,b|list] [patterns...]
+//	ppeplint [-C dir] [-json] [-stats file] [-analyzers a,b|list] [-gcflags-cache dir] [patterns...]
 //
 // Patterns default to ./... relative to -C (default: current directory).
 // -json replaces the plain `file:line: [analyzer] message` lines with a
 // JSON array of finding objects on stdout (machine-readable; the CI
 // problem matcher consumes the plain format, tooling the JSON one).
 // -stats writes a small JSON record (analyzed package count, findings,
-// suppressions — total and per analyzer — and wall time) consumed by
-// cmd/benchjson.
+// suppressions — total and per analyzer — per-analyzer wall time, and
+// perfcheck's compile time) consumed by cmd/benchjson.
 // -analyzers runs only the named comma-separated subset (faster local
 // iteration; lets CI shard lint from tests); `-analyzers list` prints
 // the registry and exits.
+// -gcflags-cache caches perfcheck's raw compiler transcript in the
+// given directory, keyed by a content hash of the module sources; CI
+// restores it so an unchanged tree skips the diagnostics compile.
 package main
 
 import (
@@ -37,10 +43,13 @@ import (
 )
 
 // analyzerStats is the per-analyzer slice of a run: how many findings
-// survived and how many an //ppep:allow directive absorbed.
+// survived, how many an //ppep:allow directive absorbed, and how long
+// the analyzer itself ran (for perfcheck this includes the diagnostics
+// compile; PerfCompileMS in the top-level record isolates that part).
 type analyzerStats struct {
-	Findings   int `json:"findings"`
-	Suppressed int `json:"suppressed"`
+	Findings   int   `json:"findings"`
+	Suppressed int   `json:"suppressed"`
+	WallMS     int64 `json:"wall_ms"`
 }
 
 type stats struct {
@@ -48,6 +57,7 @@ type stats struct {
 	Findings         int                      `json:"findings"`
 	Suppressed       int                      `json:"suppressed"`
 	WallMS           int64                    `json:"wall_ms"`
+	PerfCompileMS    int64                    `json:"perf_compile_ms"`
 	Analyzers        map[string]analyzerStats `json:"analyzers"`
 }
 
@@ -66,6 +76,8 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array instead of plain lines")
 	analyzers := flag.String("analyzers", "",
 		"comma-separated analyzers to run (default: all); 'list' prints the registry and exits")
+	gcflagsCache := flag.String("gcflags-cache", "",
+		"cache perfcheck's compiler transcript in this directory (keyed by source content hash)")
 	flag.Parse()
 
 	if *analyzers == "list" {
@@ -88,7 +100,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ppeplint:", err)
 		os.Exit(2)
 	}
-	findings, err := m.RunAnalyzers(lint.DefaultConfig(m.Path), runNames...)
+	cfg := lint.DefaultConfig(m.Path)
+	cfg.PerfCacheDir = *gcflagsCache
+	findings, err := m.RunAnalyzers(cfg, runNames...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ppeplint:", err)
 		os.Exit(2)
@@ -148,11 +162,17 @@ func main() {
 				perAnalyzer[name] = analyzerStats{}
 			}
 		}
+		for name, d := range m.AnalyzerWall() {
+			a := perAnalyzer[name]
+			a.WallMS = d.Milliseconds()
+			perAnalyzer[name] = a
+		}
 		s := stats{
 			AnalyzedPackages: len(m.Packages),
 			Findings:         len(findings),
 			Suppressed:       m.Suppressed(),
 			WallMS:           wall.Milliseconds(),
+			PerfCompileMS:    m.PerfCompileWall().Milliseconds(),
 			Analyzers:        perAnalyzer,
 		}
 		b, err := json.MarshalIndent(s, "", "  ")

@@ -279,6 +279,8 @@ func (c *Chip) SetPState(cu int, s arch.VFState) error {
 
 // refreshSharedRail re-derives the shared-rail voltage: the voltage of
 // the highest requested P-state.
+//
+//ppep:inline
 func (c *Chip) refreshSharedRail() {
 	top := c.pstates[0]
 	for _, s := range c.pstates[1:] {
@@ -290,6 +292,8 @@ func (c *Chip) refreshSharedRail() {
 }
 
 // markBusy records a core's idle→busy transition in the CU busy counters.
+//
+//ppep:inline
 func (c *Chip) markBusy(core int) {
 	cu := c.cfg.Topology.CUOf(core)
 	c.cuBusyCores[cu]++
@@ -302,6 +306,8 @@ func (c *Chip) markBusy(core int) {
 }
 
 // markIdle records a core's busy→idle transition (unbind or completion).
+//
+//ppep:inline
 func (c *Chip) markIdle(core int) {
 	cu := c.cfg.Topology.CUOf(core)
 	c.cuBusyCores[cu]--
@@ -453,6 +459,8 @@ func (c *Chip) UnbindAll() {
 }
 
 // Busy reports whether a thread is bound and unfinished on the core.
+//
+//ppep:inline
 func (c *Chip) Busy(core int) bool {
 	return c.bound[core] && !c.threads[core].Finished()
 }
@@ -473,11 +481,15 @@ func (c *Chip) siblingBusy(core int) bool {
 }
 
 // cuGated reports whether a CU is power gated this tick.
+//
+//ppep:inline
 func (c *Chip) cuGated(cu int) bool {
 	return c.cfg.PowerGating && c.cuBusyCores[cu] == 0
 }
 
 // nbGated reports whether the NB is gated (all CUs gated).
+//
+//ppep:inline
 func (c *Chip) nbGated() bool {
 	return c.cfg.PowerGating && c.busyCUs == 0
 }
@@ -485,6 +497,8 @@ func (c *Chip) nbGated() bool {
 // snapshotVF records the per-core VF states for the current interval into
 // the chip's reusable buffer (ReadInterval copies it out, so handed-out
 // intervals never alias it).
+//
+//ppep:inline
 func (c *Chip) snapshotVF() {
 	for i := range c.intervalVF {
 		c.intervalVF[i] = c.pstates[c.cfg.Topology.CUOf(i)]

@@ -133,6 +133,7 @@ func (e *engine) init(cfg *Config, nCores, nCUs int) {
 // good a probe point as any.
 //
 //ppep:hotpath
+//ppep:inline
 func (e *engine) invalidate() {
 	e.valid = false
 	e.backoff = 0
@@ -141,6 +142,7 @@ func (e *engine) invalidate() {
 // armed reports whether the next tick should probe for a quiescent run.
 //
 //ppep:hotpath
+//ppep:inline
 func (e *engine) armed() bool {
 	return !e.disabled && !e.neverFast && e.backoff == 0
 }
@@ -148,6 +150,7 @@ func (e *engine) armed() bool {
 // capture records one busy core's tick result during a probe tick.
 //
 //ppep:hotpath
+//ppep:inline
 func (e *engine) capture(i int, r uarch.TickResult) {
 	e.inst[i] = r.Instructions
 	e.events[i] = r.Events
@@ -158,6 +161,7 @@ func (e *engine) capture(i int, r uarch.TickResult) {
 // captureChip records the chip-level per-tick values during a probe tick.
 //
 //ppep:hotpath
+//ppep:inline
 func (e *engine) captureChip(nbDynW, housekW units.Watts, utilX float64) {
 	e.nbDynW = nbDynW
 	e.housekW = housekW
@@ -276,10 +280,16 @@ func (c *Chip) fastTick() {
 	}
 
 	// Leakage and thermals genuinely change every tick; recompute them
-	// from the same cached inputs the reference path reads.
+	// from the same cached inputs the reference path reads. The slice
+	// re-headers give the prove pass a common length (all three are
+	// sized to NumCUs in init), so the sweep carries no bounds checks —
+	// same calls, same order, bit-identical results.
 	tempScale := c.cfg.Power.LeakTempScale(c.therm.TempK())
-	for cu := 0; cu < c.cfg.Topology.NumCUs; cu++ {
-		c.scratchLeak[cu] = c.cfg.Power.CULeakageWWith(e.cuLeakVolt[cu], tempScale, e.cuGatedM[cu])
+	leak := c.scratchLeak[:len(e.cuLeakVolt)]
+	gated := e.cuGatedM[:len(e.cuLeakVolt)]
+	//ppep:nobc
+	for cu, lv := range e.cuLeakVolt {
+		leak[cu] = c.cfg.Power.CULeakageWWith(lv, tempScale, gated[cu])
 	}
 	b := powertruth.Breakdown{
 		CoreDynW: e.dynW,
@@ -296,8 +306,10 @@ func (c *Chip) fastTick() {
 	c.trueSum += float64(totalW)
 	c.trueCoreSum += float64(b.CoreTotalW())
 	c.trueNBSum += float64(b.NBTotalW())
+	dynSum := c.coreDynSum[:len(e.dynW)]
+	//ppep:nobc
 	for i, w := range e.dynW {
-		c.coreDynSum[i] += w
+		dynSum[i] += w
 	}
 	c.tickCount++
 	c.tickIdx++

@@ -31,6 +31,11 @@
 //   - leakcheck: every go statement has a provable join (WaitGroup
 //     pairing, channel send/receive) or cancel (ctx/quit observation);
 //     fire-and-forget requires an explicit //ppep:allow.
+//   - perfcheck: the compiler's own diagnostics (-m -m escape analysis
+//     and inlining verdicts, -d=ssa/check_bce residual bounds checks)
+//     as a lintable contract: hot-path closures stay heap-allocation
+//     free per the compiler, //ppep:inline functions stay inlined, and
+//     //ppep:nobc loops keep zero residual bounds checks.
 //
 // Exceptions are declared in the source as
 //
@@ -48,6 +53,7 @@ import (
 	"path"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Finding is one analyzer report.
@@ -84,6 +90,15 @@ type Config struct {
 	// cancellation and their exported blocking APIs must take a
 	// context. atomiccheck and leakcheck run module-wide regardless.
 	CtxPkgs map[string]bool
+	// PerfPatterns are the package patterns perfcheck compiles for
+	// diagnostics (go build -gcflags='-m -m -d=ssa/check_bce/debug=1');
+	// empty means ./... — the whole module.
+	PerfPatterns []string
+	// PerfCacheDir, when set, caches perfcheck's raw compiler
+	// transcript keyed by a content hash of the module sources, so a
+	// rerun over unchanged sources skips the compile entirely
+	// (ppeplint -gcflags-cache).
+	PerfCacheDir string
 }
 
 // DefaultConfig returns the analyzer scope for this repository: the
@@ -143,7 +158,7 @@ func DefaultConfig(modulePath string) Config {
 // the directive parser's own findings (malformed or unknown directives).
 var AnalyzerNames = []string{
 	"hotpath", "determinism", "poolsafety", "errcheck", "unitcheck",
-	"atomiccheck", "ctxcheck", "leakcheck", "directive",
+	"atomiccheck", "ctxcheck", "leakcheck", "perfcheck", "directive",
 }
 
 var knownAnalyzer = map[string]bool{
@@ -155,6 +170,7 @@ var knownAnalyzer = map[string]bool{
 	"atomiccheck": true,
 	"ctxcheck":    true,
 	"leakcheck":   true,
+	"perfcheck":   true,
 	"directive":   true,
 }
 
@@ -178,6 +194,8 @@ func (m *Module) runOne(name string, cfg Config) []Finding {
 		return runCtxcheck(m, cfg)
 	case "leakcheck":
 		return runLeakcheck(m)
+	case "perfcheck":
+		return runPerfcheck(m, cfg)
 	case "directive":
 		return append([]Finding(nil), m.directiveFindings...)
 	}
@@ -204,6 +222,7 @@ func (m *Module) RunAnalyzers(cfg Config, names ...string) ([]Finding, error) {
 	var fs []Finding
 	var ran []string
 	seen := map[string]bool{}
+	m.analyzerWall = map[string]time.Duration{}
 	for _, name := range names {
 		if !knownAnalyzer[name] {
 			return nil, fmt.Errorf("lint: unknown analyzer %q (known: %s)", name, strings.Join(AnalyzerNames, ", "))
@@ -212,7 +231,9 @@ func (m *Module) RunAnalyzers(cfg Config, names ...string) ([]Finding, error) {
 			continue
 		}
 		seen[name] = true
+		start := time.Now()
 		fs = append(fs, m.runOne(name, cfg)...)
+		m.analyzerWall[name] = time.Since(start)
 		if name != "directive" {
 			ran = append(ran, name)
 		}

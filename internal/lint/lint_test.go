@@ -159,6 +159,17 @@ func TestAtomiccheckFixtures(t *testing.T) { checkFixture(t, "atomiccheck", "ato
 func TestCtxcheckFixtures(t *testing.T)    { checkFixture(t, "ctxcheck", "ctxcheck") }
 func TestLeakcheckFixtures(t *testing.T)   { checkFixture(t, "leakcheck", "leakcheck") }
 
+// TestPerfcheckFixtures compiles the fixture module with the
+// diagnostics flags and checks the three budgets against seeded
+// regressions: an address-of-local escape on a hot root, an over-budget
+// //ppep:inline function, and a //ppep:nobc loop with a free bound.
+func TestPerfcheckFixtures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the fixture module")
+	}
+	checkFixture(t, "perfcheck", "perfcheck")
+}
+
 // TestRunAnalyzersSubset pins the -analyzers plumbing: a subset run
 // executes only the named analyzers, scopes the unused-suppression
 // check to them, and rejects unknown names.
@@ -222,11 +233,16 @@ func TestRepoClean(t *testing.T) {
 	// (docs/UNITS.md). The concurrency analyzers rolled out with zero
 	// suppressions: every goroutine joins or cancels, the service loop
 	// observes ctx, and all shared counters are typed atomics behind
-	// pointer receivers — keep it that way.
+	// pointer receivers — keep it that way. perfcheck also rolled out
+	// clean: zero compiler-verified hot-path escapes, every
+	// //ppep:inline site inlined, zero residual bounds checks in
+	// //ppep:nobc ranges — new exceptions need a reason the compiler
+	// can't argue with.
 	by := m.SuppressedBy()
 	if by["hotpath"] != 2 || by["unitcheck"] != 33 ||
-		by["atomiccheck"] != 0 || by["ctxcheck"] != 0 || by["leakcheck"] != 0 {
-		t.Errorf("suppressed by analyzer = %v, want hotpath:2 unitcheck:33 and no concurrency-analyzer suppressions", by)
+		by["atomiccheck"] != 0 || by["ctxcheck"] != 0 || by["leakcheck"] != 0 ||
+		by["perfcheck"] != 0 {
+		t.Errorf("suppressed by analyzer = %v, want hotpath:2 unitcheck:33 and no concurrency- or perf-analyzer suppressions", by)
 	}
 }
 

@@ -16,6 +16,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 )
 
 // Package is one loaded, type-checked module package.
@@ -35,6 +37,9 @@ type FuncNode struct {
 	Obj  *types.Func
 	// Hot marks a //ppep:hotpath root.
 	Hot bool
+	// Inline marks a //ppep:inline root: perfcheck requires a positive
+	// compiler inlining verdict at the declaration.
+	Inline bool
 }
 
 // Module is the loaded module: every package matched by the load
@@ -53,6 +58,20 @@ type Module struct {
 	directiveFindings []Finding
 	suppressed        int
 	suppressedBy      map[string]int
+
+	// nobcRanges are the resolved //ppep:nobc statement ranges the
+	// perfcheck analyzer holds to zero residual bounds checks.
+	nobcRanges []nobcRange
+
+	// perfOnce memoizes the perfcheck diagnostics build: Run and
+	// RunAnalyzer pay for at most one compile per loaded Module.
+	perfOnce  sync.Once
+	perfDiags *PerfDiagnostics
+	perfErr   error
+
+	// analyzerWall records each analyzer's wall time from the most
+	// recent RunAnalyzers call, for ppeplint -stats.
+	analyzerWall map[string]time.Duration
 }
 
 // Suppressed reports how many findings //ppep:allow directives absorbed.
@@ -66,6 +85,26 @@ func (m *Module) SuppressedBy() map[string]int {
 		out[k] = v
 	}
 	return out
+}
+
+// AnalyzerWall reports each analyzer's wall time from the most recent
+// RunAnalyzers call, so ppeplint -stats can expose per-analyzer cost
+// and lint-time creep shows up in BENCH_fxsim.json.
+func (m *Module) AnalyzerWall() map[string]time.Duration {
+	out := make(map[string]time.Duration, len(m.analyzerWall))
+	for k, v := range m.analyzerWall {
+		out[k] = v
+	}
+	return out
+}
+
+// PerfCompileWall reports how long perfcheck's diagnostics build took
+// (zero when the analyzer did not run or the transcript cache hit).
+func (m *Module) PerfCompileWall() time.Duration {
+	if m.perfDiags == nil {
+		return 0
+	}
+	return m.perfDiags.CompileWall
 }
 
 // inModule reports whether an import path belongs to this module.

@@ -16,3 +16,22 @@ func Misplaced() {
 	//ppep:hotpath
 	_ = 1
 }
+
+func MisplacedInline() {
+	// want "//ppep:inline must appear in a function's doc comment"
+	//ppep:inline
+	_ = 1
+}
+
+// want "//ppep:nobc marks a statement, not a function"
+//
+//ppep:nobc
+func NobcOnFunc() {
+	_ = 1
+}
+
+func NobcDangling() {
+	_ = 1
+	// want "//ppep:nobc must immediately precede the statement it covers"
+	//ppep:nobc
+}

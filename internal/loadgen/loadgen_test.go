@@ -69,6 +69,87 @@ func TestHistogramQuantiles(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileEdges pins the defined values at the
+// distribution's edges: an empty histogram answers 0 for every
+// quantile, and a single-sample histogram answers that sample exactly
+// (the bucket's upper edge clamps to the recorded max) — including at
+// q=0, q=1, and out-of-range q, which clamp rather than misindex.
+func TestHistogramQuantileEdges(t *testing.T) {
+	single := func(d time.Duration) *Histogram {
+		var h Histogram
+		h.Record(d)
+		return &h
+	}
+	for _, tc := range []struct {
+		name string
+		h    *Histogram
+		q    float64
+		want time.Duration
+	}{
+		{"empty q0", &Histogram{}, 0, 0},
+		{"empty q0.5", &Histogram{}, 0.5, 0},
+		{"empty q1", &Histogram{}, 1, 0},
+		{"empty q>1", &Histogram{}, 2, 0},
+		{"single q0", single(time.Millisecond), 0, time.Millisecond},
+		{"single q0.5", single(time.Millisecond), 0.5, time.Millisecond},
+		{"single q0.999", single(time.Millisecond), 0.999, time.Millisecond},
+		{"single q1", single(time.Millisecond), 1, time.Millisecond},
+		{"single q<0", single(time.Millisecond), -1, time.Millisecond},
+		{"single q>1", single(time.Millisecond), 2, time.Millisecond},
+		{"single zero-value sample", single(0), 1, 0},
+		{"single negative clamps to 0", single(-time.Second), 1, 0},
+	} {
+		if got := tc.h.Quantile(tc.q); got != tc.want {
+			t.Errorf("%s: Quantile(%g) = %v, want %v", tc.name, tc.q, got, tc.want)
+		}
+	}
+}
+
+// TestHistogramMergeDisjoint merges histograms covering disjoint value
+// ranges and checks the combined quantiles pick from the correct half:
+// the low histogram owns everything up to its share of the mass, the
+// high one owns the tail, and max is the global max regardless of merge
+// direction.
+func TestHistogramMergeDisjoint(t *testing.T) {
+	fill := func(lo, hi int) *Histogram {
+		var h Histogram
+		for i := lo; i <= hi; i++ {
+			h.Record(time.Duration(i) * time.Microsecond)
+		}
+		return &h
+	}
+	for _, tc := range []struct {
+		name     string
+		dst, src *Histogram
+	}{
+		// 100 low samples (1..100 µs) + 100 high samples (10..11 ms):
+		// two decades apart, so no bucket overlaps.
+		{"low into high", fill(10000, 10099), fill(1, 100)},
+		{"high into low", fill(1, 100), fill(10000, 10099)},
+	} {
+		tc.dst.Merge(tc.src)
+		if got, want := tc.dst.Count(), uint64(200); got != want {
+			t.Fatalf("%s: merged count = %d, want %d", tc.name, got, want)
+		}
+		if got, want := tc.dst.Max(), 10099*time.Microsecond; got != want {
+			t.Errorf("%s: merged max = %v, want %v", tc.name, got, want)
+		}
+		// q=0.25 is the 50th of the 100 low observations: must come from
+		// the low range, not be dragged up by the high half.
+		if got := tc.dst.Quantile(0.25); got < 50*time.Microsecond || got > 54*time.Microsecond {
+			t.Errorf("%s: p25 = %v, want ~50µs (low half)", tc.name, got)
+		}
+		// q=0.75 is the 50th of the high observations.
+		if got := tc.dst.Quantile(0.75); got < 10049*time.Microsecond || got > 10750*time.Microsecond {
+			t.Errorf("%s: p75 = %v, want ~10.05ms (high half)", tc.name, got)
+		}
+		// The crossover: q=0.5 is still the last low observation.
+		if got := tc.dst.Quantile(0.5); got < 100*time.Microsecond || got > 107*time.Microsecond {
+			t.Errorf("%s: p50 = %v, want ~100µs (last low observation)", tc.name, got)
+		}
+	}
+}
+
 // TestHistogramMerge pins that merging equals recording into one.
 func TestHistogramMerge(t *testing.T) {
 	var a, b, whole Histogram

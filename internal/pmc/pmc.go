@@ -63,6 +63,8 @@ func (m *Mux) GroupOf(id arch.EventID) int { return m.groupOf[int(id)-1] }
 // milliseconds. Only the live group's events are recorded (unless the mux
 // is disabled). Ticks must not straddle a window boundary; the standard
 // 1 ms simulation tick divides the 20 ms window evenly.
+//
+//ppep:inline
 func (m *Mux) Accumulate(inc arch.EventVec, dtMS float64) {
 	live := int(m.clockMS/MuxWindowMS) % 2
 	for i := 0; i < arch.NumEvents; i++ {
@@ -151,6 +153,8 @@ func (cf *CounterFile) Write(slot int, v uint64) error {
 
 // Accumulate advances every programmed counter by the matching event's
 // increment. Counters wrap at 48 bits as on AMD hardware.
+//
+//ppep:inline
 func (cf *CounterFile) Accumulate(inc arch.EventVec) {
 	const mask = (uint64(1) << 48) - 1
 	for slot, code := range cf.selects {

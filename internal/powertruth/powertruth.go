@@ -227,6 +227,7 @@ func (c *Config) NBDynamicW(nb NBActivity, nbV units.Volts, nbF units.GigaHertz)
 //
 //ppep:allow unitcheck dimensionless exponential scale factors around 1
 //ppep:hotpath
+//ppep:inline
 func (c *Config) LeakTempScale(tK units.Kelvin) float64 {
 	return math.Exp(c.LeakTExp.Times(tK - c.T0K))
 }
@@ -252,6 +253,7 @@ func (c *Config) NBLeakVoltScale(nbV units.Volts) float64 {
 //
 //ppep:allow unitcheck dimensionless exponential scale factors around 1
 //ppep:hotpath
+//ppep:inline
 func (c *Config) CULeakageWWith(voltScale, tempScale float64, gated bool) units.Watts {
 	w := units.Watts(float64(c.CULeakW) * voltScale * tempScale)
 	if gated {
@@ -264,6 +266,7 @@ func (c *Config) CULeakageWWith(voltScale, tempScale float64, gated bool) units.
 //
 //ppep:allow unitcheck dimensionless exponential scale factors around 1
 //ppep:hotpath
+//ppep:inline
 func (c *Config) NBLeakageWWith(voltScale, tempScale float64, gated bool) units.Watts {
 	w := units.Watts(float64(c.NBLeakW) * voltScale * tempScale)
 	if gated {
@@ -309,6 +312,7 @@ type Breakdown struct {
 // DESIGN.md, "The batched tick engine".
 //
 //ppep:hotpath
+//ppep:inline
 func (b *Breakdown) TotalW() units.Watts {
 	t := b.NBDynW + b.NBLeakW + b.BaseW + b.HousekW
 	for _, w := range b.CoreDynW {
@@ -322,6 +326,8 @@ func (b *Breakdown) TotalW() units.Watts {
 
 // CoreTotalW returns the "core side" share: core dynamic + CU leakage +
 // housekeeping. Used by the Figure 10/11 core-vs-NB energy split.
+//
+//ppep:inline
 func (b *Breakdown) CoreTotalW() units.Watts {
 	t := b.HousekW
 	for _, w := range b.CoreDynW {
@@ -334,4 +340,6 @@ func (b *Breakdown) CoreTotalW() units.Watts {
 }
 
 // NBTotalW returns the NB share: NB dynamic + NB leakage + base.
+//
+//ppep:inline
 func (b *Breakdown) NBTotalW() units.Watts { return b.NBDynW + b.NBLeakW + b.BaseW }

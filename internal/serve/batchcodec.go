@@ -86,6 +86,10 @@ func EncodeBatch(t *core.PredictionTable) []byte {
 	return b[:off]
 }
 
+// putBatchF64 writes one float as raw IEEE-754 bits and advances the
+// cursor; inlined into EncodeBatch's per-row loop.
+//
+//ppep:inline
 func putBatchF64(b []byte, off int, x float64) int {
 	binary.LittleEndian.PutUint64(b[off:], math.Float64bits(x))
 	return off + 8
@@ -99,6 +103,10 @@ type batchReader struct {
 	ok  bool
 }
 
+// take yields the next n bytes, or flips ok and returns nil past the
+// end; small enough that u32/u64/f64 collapse to straight-line loads.
+//
+//ppep:inline
 func (r *batchReader) take(n int) []byte {
 	if !r.ok || n < 0 || len(r.b)-r.off < n {
 		r.ok = false
@@ -109,6 +117,7 @@ func (r *batchReader) take(n int) []byte {
 	return s
 }
 
+//ppep:inline
 func (r *batchReader) u32() uint32 {
 	if s := r.take(4); s != nil {
 		return binary.LittleEndian.Uint32(s)
@@ -116,6 +125,7 @@ func (r *batchReader) u32() uint32 {
 	return 0
 }
 
+//ppep:inline
 func (r *batchReader) u64() uint64 {
 	if s := r.take(8); s != nil {
 		return binary.LittleEndian.Uint64(s)
@@ -123,6 +133,7 @@ func (r *batchReader) u64() uint64 {
 	return 0
 }
 
+//ppep:inline
 func (r *batchReader) f64() float64 { return math.Float64frombits(r.u64()) }
 
 // DecodeBatch parses a binary /predict/batch response. The decoded

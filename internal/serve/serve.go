@@ -335,20 +335,29 @@ type prediction struct {
 // allocating (url.Values would build a map per request on the hot read
 // path). No percent-unescaping is performed — the predict parameters
 // are plain integers, and a value that needed escaping will simply
-// fail integer parsing downstream.
+// fail integer parsing downstream. The manual byte scan (rather than
+// strings.IndexByte/strings.Cut) keeps the inlining cost under the
+// compiler's budget so the call disappears from handlePredict.
+//
+//ppep:inline
 func queryValue(raw, key string) (string, bool) {
 	for raw != "" {
-		pair := raw
-		if i := strings.IndexByte(raw, '&'); i >= 0 {
-			pair, raw = raw[:i], raw[i+1:]
-		} else {
-			raw = ""
+		j := 0
+		for j < len(raw) && raw[j] != '&' {
+			j++
 		}
-		if k, v, found := strings.Cut(pair, "="); found && k == key {
-			return v, true
-		} else if !found && pair == key {
-			return "", true
+		if j >= len(key) && raw[:len(key)] == key {
+			if j == len(key) {
+				return "", true // bare key, no '='
+			}
+			if raw[len(key)] == '=' {
+				return raw[len(key)+1 : j], true
+			}
 		}
+		if j < len(raw) {
+			j++ // skip the '&'
+		}
+		raw = raw[j:]
 	}
 	return "", false
 }

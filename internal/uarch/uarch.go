@@ -72,6 +72,7 @@ func NewCore(b *workload.Benchmark, fTopGHz float64) *Core {
 // restarts reset the core slot in place instead of replacing it.
 //
 //ppep:hotpath
+//ppep:inline
 func (c *Core) Reset(b *workload.Benchmark, fTopGHz float64) {
 	*c = Core{
 		Bench:  b,
@@ -81,6 +82,8 @@ func (c *Core) Reset(b *workload.Benchmark, fTopGHz float64) {
 }
 
 // Finished reports whether the thread has retired all its instructions.
+//
+//ppep:inline
 func (c *Core) Finished() bool { return c.finished }
 
 // Progress returns the fraction of instructions retired (0..1).
@@ -336,6 +339,8 @@ func (c *Core) refreshJitter(seg int64) {
 // benchmark's lifetime and epiScale depends only on the two names, so the
 // string concatenation and hashing run once per phase transition instead
 // of every tick.
+//
+//ppep:inline
 func (c *Core) epiFor(p *workload.Phase) float64 {
 	if c.epiPhase != p {
 		c.epiVal = epiScale(c.Bench.Name, p.Name) //ppep:allow hotpath memoized per phase transition, amortized over the phase's ticks

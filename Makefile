@@ -8,7 +8,7 @@ LINT_STATS := /tmp/ppeplint-stats.json
 # directory with actions/cache.
 GCFLAGS_CACHE ?= .gcflags-cache
 
-.PHONY: all test lint lint-perf fmt-check ci smoke smoke-cache loadgen-smoke bench bench-guard bench-all experiments flagship fmt vet tools
+.PHONY: all test lint lint-perf fmt-check ci smoke smoke-cache loadgen-smoke fleet-smoke bench bench-guard bench-all experiments flagship fmt vet tools
 
 all: test
 
@@ -42,6 +42,7 @@ ci: fmt-check
 	$(MAKE) smoke
 	$(MAKE) smoke-cache
 	$(MAKE) loadgen-smoke
+	$(MAKE) fleet-smoke
 	$(MAKE) bench-guard
 
 # Service-mode smoke test: the httptest endpoint suite plus the
@@ -70,6 +71,15 @@ smoke-cache:
 loadgen-smoke:
 	$(GO) run ./cmd/ppep-loadgen -self -duration 2s -c 16 -binary -min-rps 1000 -max-p99 250ms
 
+# Fleet-engine smoke test: a small sharded fleet on the heterogeneous
+# mix, asserting (1) per-node fingerprints bit-identical to a
+# workers=1/shard=1 reference rerun — the engine's determinism
+# contract — and (2) a deliberately lax throughput floor (CI machines
+# are noisy; BENCH_fxsim.json carries the real numbers via
+# BenchmarkFleetTick/BenchmarkFleetTickParallel).
+fleet-smoke:
+	$(GO) run ./cmd/ppep-fleet -nodes 64 -seconds 2 -mix mixed -check-invariance -min-mticks 0.05
+
 # Tick-loop microbenchmarks plus the cold/warm trace-cache campaign
 # pair, summarized into a committable JSON record (mean over -count=5
 # samples; see cmd/benchjson — the cache benchmarks' hit/miss/bytes
@@ -77,7 +87,7 @@ loadgen-smoke:
 # package count and wall time ride along under the "ppeplint" key.
 bench:
 	$(GO) run ./cmd/ppeplint -stats $(LINT_STATS) -gcflags-cache $(GCFLAGS_CACHE)
-	$(GO) test -run xxx -bench '^(BenchmarkChipTick|BenchmarkTickN|BenchmarkTickNJittered|BenchmarkFleetTick|BenchmarkEventPrediction|BenchmarkServeInterval|BenchmarkPredictServe|BenchmarkCampaignColdCache|BenchmarkCampaignWarmCache)$$' \
+	$(GO) test -run xxx -bench '^(BenchmarkChipTick|BenchmarkTickN|BenchmarkTickNJittered|BenchmarkFleetTick|BenchmarkFleetTickParallel|BenchmarkEventPrediction|BenchmarkServeInterval|BenchmarkPredictServe|BenchmarkCampaignColdCache|BenchmarkCampaignWarmCache)$$' \
 		-benchmem -count=5 . | $(GO) run ./cmd/benchjson -lint $(LINT_STATS) > BENCH_fxsim.json
 	rm -f $(LINT_STATS)
 	cat BENCH_fxsim.json

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"runtime"
 	"testing"
 
 	"ppep/internal/arch"
@@ -8,6 +9,7 @@ import (
 	"ppep/internal/core/eventpred"
 	"ppep/internal/daemon"
 	"ppep/internal/experiments"
+	"ppep/internal/fleet"
 	"ppep/internal/fxsim"
 	"ppep/internal/serve"
 	"ppep/internal/units"
@@ -64,41 +66,35 @@ func benchmarkTickN(b *testing.B) { benchmarkTickNWith(b, workload.BenchSteady()
 // noise keeps every tick on the reference path.
 func benchmarkTickNJittered(b *testing.B) { benchmarkTickNWith(b, workload.BenchA()) }
 
-// benchmarkFleetTick drives a fleet of 256 simulated nodes through one
-// second of simulation each — the fleet-scale control-plane shape the
-// batched tick engine exists for.
-func benchmarkFleetTick(b *testing.B) {
-	const fleet = 256
-	long := *workload.BenchSteady()
-	long.Instructions = 1e18
-	chips := make([]*fxsim.Chip, fleet)
-	for ci := range chips {
-		cfg := fxsim.DefaultFX8320Config()
-		cfg.IdealSensor = true
-		chip := fxsim.New(cfg)
-		for core := 0; core < cfg.Topology.NumCores(); core++ {
-			if err := chip.Bind(core, &long, false); err != nil {
-				b.Fatal(err)
-			}
-		}
-		if err := chip.SetAllPStates(arch.VF5); err != nil {
-			b.Fatal(err)
-		}
-		chips[ci] = chip
+// benchmarkFleet drives 256 simulated nodes through one second of
+// simulation each via the fleet engine — the fleet-scale control-plane
+// shape the batched tick engine exists for. The jittered mix derives a
+// distinct workload per node from the node index, so the fleet is not
+// phase-locked onto the quiescent fast path the way the old
+// all-identical-steady-nodes benchmark was. Besides Mticks/s it
+// reports allocs/tick: the engine's steady state is alloc-free per
+// node, leaving only the immutable per-interval snapshot publish.
+func benchmarkFleet(b *testing.B, workers int) {
+	const nodes = 256
+	e, err := fleet.New(fleet.Config{
+		Nodes: nodes, Workers: workers, Mix: fleet.MixJittered, IdealSensor: true,
+	})
+	if err != nil {
+		b.Fatal(err)
 	}
 	const intervalsPerS = 1000 / arch.DecisionIntervalMS
+	e.AdvanceN(1) // warm per-node scratch outside the timed region
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		for _, chip := range chips {
-			for w := 0; w < intervalsPerS; w++ {
-				chip.TickN(arch.DecisionIntervalMS)
-				chip.ReadInterval()
-			}
-		}
+		e.AdvanceN(intervalsPerS)
 	}
 	b.StopTimer()
-	ticks := float64(b.N) * fleet * 1000
+	runtime.ReadMemStats(&ms1)
+	ticks := float64(b.N) * nodes * 1000
 	b.ReportMetric(ticks/b.Elapsed().Seconds()/1e6, "Mticks/s")
+	b.ReportMetric(float64(ms1.Mallocs-ms0.Mallocs)/ticks, "allocs/tick")
 }
 
 // benchmarkServeDaemon assembles the service-mode stack on a busy chip:

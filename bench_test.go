@@ -267,11 +267,20 @@ func BenchmarkTickNJittered(b *testing.B) {
 	benchmarkTickNJittered(b)
 }
 
-// BenchmarkFleetTick measures 256 chips × 1 simulated second each — the
-// fleet-scale shape (hundreds of nodes per control-plane process) the
-// batched engine targets.
+// BenchmarkFleetTick measures 256 fleet nodes × 1 simulated second each
+// on a single worker — the serial reference for the sharded engine.
+// Each node runs a deterministically jittered per-node workload
+// (internal/fleet MixJittered), so the fleet is not phase-locked.
 func BenchmarkFleetTick(b *testing.B) {
-	benchmarkFleetTick(b)
+	benchmarkFleet(b, 1)
+}
+
+// BenchmarkFleetTickParallel is the same fleet advanced by the full
+// worker pool (GOMAXPROCS). The ratio to BenchmarkFleetTick is the
+// sharded engine's speedup; on a many-core host it tracks the core
+// count (the PR 10 target is ≥6× on ≥8 cores).
+func BenchmarkFleetTickParallel(b *testing.B) {
+	benchmarkFleet(b, 0)
 }
 
 // BenchmarkEventPrediction measures one core's cross-VF event-rate

@@ -28,13 +28,11 @@ import (
 	"syscall"
 	"time"
 
-	"ppep/internal/arch"
-	"ppep/internal/core"
 	"ppep/internal/daemon"
+	"ppep/internal/fleet"
 	"ppep/internal/fxsim"
 	"ppep/internal/loadgen"
 	"ppep/internal/serve"
-	"ppep/internal/trace"
 	"ppep/internal/workload"
 )
 
@@ -111,7 +109,7 @@ func main() {
 // shutdown func that joins both goroutines.
 func selfServe(ctx context.Context) (string, func(), error) {
 	fmt.Println("training slim models for self-serve mode...")
-	models, err := slimModels()
+	models, err := fleet.SlimModels()
 	if err != nil {
 		return "", nil, err
 	}
@@ -173,35 +171,4 @@ func selfServe(ctx context.Context) (string, func(), error) {
 		}
 	}
 	return "http://" + ln.Addr().String(), shutdown, nil
-}
-
-// slimModels trains a reduced but valid PPEP model set in under a
-// second: idle heat/cool traces at every VF state plus four SPEC
-// benchmarks across the table — the same slimmed campaign the serve
-// package's tests train with.
-func slimModels() (*core.Models, error) {
-	ts := core.TrainingSet{IdleTraces: map[arch.VFState]*trace.Trace{}}
-	for _, vf := range arch.FX8320VFTable.States() {
-		chip := fxsim.New(fxsim.DefaultFX8320Config())
-		tr, err := chip.HeatCool(vf, 40, 80)
-		if err != nil {
-			return nil, err
-		}
-		ts.IdleTraces[vf] = tr
-	}
-	for _, num := range []string{"429", "433", "458", "416"} {
-		b := *workload.SPECByNumber(num)
-		b.Instructions = 8e9
-		for _, vf := range arch.FX8320VFTable.States() {
-			chip := fxsim.New(fxsim.DefaultFX8320Config())
-			r := workload.Run{Name: num, Suite: "SPE",
-				Members: []workload.Member{{Bench: &b, Threads: 1}}}
-			tr, err := chip.Collect(r, fxsim.RunOpts{VF: vf, WarmTempK: 315})
-			if err != nil {
-				return nil, err
-			}
-			ts.Runs = append(ts.Runs, core.RunTrace{Name: num, Suite: "SPE", VF: vf, Trace: tr})
-		}
-	}
-	return core.Train(ts, arch.FX8320VFTable)
 }

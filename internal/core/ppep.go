@@ -91,33 +91,67 @@ func (r *Report) Current() Projection { return r.At(r.MeasuredVF) }
 
 // Analyze runs the PPEP pipeline on one interval.
 func (m *Models) Analyze(iv trace.Interval) (*Report, error) {
+	rep := &Report{}
+	if err := m.AnalyzeInto(iv, rep); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// AnalyzeInto runs the PPEP pipeline on one interval into a
+// caller-owned report. When the report's projection slices already have
+// the right shape (same table size, same core count — the steady state
+// of any caller analyzing a stream of intervals from one chip) they are
+// reused and the analysis performs zero allocations; otherwise the
+// report is (re)sized exactly as Analyze sizes a fresh one. The
+// computed values are bit-identical to Analyze's — Analyze is this
+// function applied to a zero report. A reused report is overwritten in
+// place, so callers that retain reports must hand each interval a fresh
+// one (that is Analyze). The fleet engine's per-node report scratch is
+// the intended consumer; TestAnalyzeIntoAllocs pins the zero-alloc
+// reuse path.
+func (m *Models) AnalyzeInto(iv trace.Interval, rep *Report) error {
 	if m.Idle == nil || m.Dyn == nil {
-		return nil, fmt.Errorf("core: models not trained")
+		return fmt.Errorf("core: models not trained")
 	}
 	if len(iv.Counters) == 0 {
-		return nil, fmt.Errorf("core: interval has no per-core counters")
+		return fmt.Errorf("core: interval has no per-core counters")
 	}
-	rep := &Report{TempK: units.Kelvin(iv.TempK), MeasuredVF: iv.VF()}
+	rep.TempK = units.Kelvin(iv.TempK)
+	rep.MeasuredVF = iv.VF()
 	fFrom := m.Table.Point(rep.MeasuredVF).Freq
 
 	// One backing array per field serves every state's per-core slice
 	// (full-capacity sub-slices, so no state can append into the next
 	// one's cells): the report owns them, and the whole analysis performs
-	// a fixed four allocations regardless of the table size — this is
-	// the per-interval path of the service daemon (TestServeIntervalAllocs).
+	// a fixed number of allocations regardless of the table size — this
+	// is the per-interval path of the service daemon
+	// (TestServeIntervalAllocs).
 	nCores := len(iv.Counters)
 	nStates := len(m.Table)
-	rep.PerVF = make([]Projection, 0, nStates)
-	cpiBuf := make([]units.CPI, nStates*nCores)
-	dynBuf := make([]units.Watts, nStates*nCores)
+	if !reportFits(rep, nStates, nCores) {
+		rep.PerVF = make([]Projection, nStates)
+		cpiBuf := make([]units.CPI, nStates*nCores)
+		dynBuf := make([]units.Watts, nStates*nCores)
+		for si := range rep.PerVF {
+			off := si * nCores
+			rep.PerVF[si].PerCoreCPI = cpiBuf[off : off+nCores : off+nCores]
+			rep.PerVF[si].PerCoreDynW = dynBuf[off : off+nCores : off+nCores]
+		}
+	}
 	for si := 0; si < nStates; si++ {
 		s := arch.VFState(si + 1)
 		pt := m.Table.Point(s)
-		off := si * nCores
+		cpiCol := rep.PerVF[si].PerCoreCPI
+		dynCol := rep.PerVF[si].PerCoreDynW
+		for i := range cpiCol {
+			cpiCol[i] = 0
+			dynCol[i] = 0
+		}
 		proj := Projection{
 			VF:          s,
-			PerCoreCPI:  cpiBuf[off : off+nCores : off+nCores],
-			PerCoreDynW: dynBuf[off : off+nCores : off+nCores],
+			PerCoreCPI:  cpiCol,
+			PerCoreDynW: dynCol,
 		}
 		for c := range iv.Counters {
 			rates := iv.CoreRates(c)
@@ -149,9 +183,23 @@ func (m *Models) Analyze(iv trace.Interval) (*Report, error) {
 			}
 		}
 		proj.IntervalEnergyJ = proj.ChipW.Over(units.Seconds(iv.DurS))
-		rep.PerVF = append(rep.PerVF, proj)
+		rep.PerVF[si] = proj
 	}
-	return rep, nil
+	return nil
+}
+
+// reportFits reports whether a report's projection slices can be reused
+// for an analysis of nStates VF states over nCores cores.
+func reportFits(rep *Report, nStates, nCores int) bool {
+	if len(rep.PerVF) != nStates {
+		return false
+	}
+	for i := range rep.PerVF {
+		if len(rep.PerVF[i].PerCoreCPI) != nCores || len(rep.PerVF[i].PerCoreDynW) != nCores {
+			return false
+		}
+	}
+	return true
 }
 
 // idleAt estimates the chip idle power at a target state. With power

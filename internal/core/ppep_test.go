@@ -179,6 +179,61 @@ func TestAnalyzeStructure(t *testing.T) {
 	}
 }
 
+// TestAnalyzeIntoReuseMatchesAnalyze pins the reuse contract: a report
+// handed back interval after interval (the fleet engine's per-node
+// scratch) must produce exactly what a fresh Analyze produces, even
+// after analyzing a different interval in between.
+func TestAnalyzeIntoReuseMatchesAnalyze(t *testing.T) {
+	m, ts := miniCampaign(t)
+	var reused Report
+	for _, k := range []int{1, 2, 3, 1} {
+		iv := ts.Runs[k].Trace.Intervals[1]
+		want, err := m.Analyze(iv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.AnalyzeInto(iv, &reused); err != nil {
+			t.Fatal(err)
+		}
+		if reused.TempK != want.TempK || reused.MeasuredVF != want.MeasuredVF {
+			t.Fatalf("run %d: header mismatch", k)
+		}
+		for si := range want.PerVF {
+			w, g := want.PerVF[si], reused.PerVF[si]
+			if w.ChipW != g.ChipW || w.TotalIPS != g.TotalIPS || w.IntervalEnergyJ != g.IntervalEnergyJ {
+				t.Fatalf("run %d state %d: aggregate mismatch", k, si)
+			}
+			for c := range w.PerCoreCPI {
+				if w.PerCoreCPI[c] != g.PerCoreCPI[c] || w.PerCoreDynW[c] != g.PerCoreDynW[c] {
+					t.Fatalf("run %d state %d core %d: per-core mismatch", k, si, c)
+				}
+			}
+		}
+	}
+}
+
+// TestAnalyzeIntoAllocs pins the zero-alloc reuse path: once a report
+// has the right shape, analyzing a stream of intervals through it
+// allocates nothing.
+func TestAnalyzeIntoAllocs(t *testing.T) {
+	m, ts := miniCampaign(t)
+	ivs := ts.Runs[0].Trace.Intervals
+	var rep Report
+	if err := m.AnalyzeInto(ivs[0], &rep); err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	n := testing.AllocsPerRun(100, func() {
+		i++
+		if err := m.AnalyzeInto(ivs[i%len(ivs)], &rep); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if n != 0 {
+		t.Errorf("AnalyzeInto allocates %.1f times per interval on reuse, want 0", n)
+	}
+}
+
 func TestAnalyzeErrors(t *testing.T) {
 	var m Models
 	if _, err := m.Analyze(trace.Interval{}); err == nil {

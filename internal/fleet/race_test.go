@@ -1,0 +1,75 @@
+package fleet
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestFleetConcurrentSnapshotReaders is the fleet mirror of the serve
+// package's TestPredictBatchConcurrentSwaps: one goroutine advances the
+// fleet while readers hammer Snapshot. Under -race this proves the
+// publish is safe; the assertions prove snapshots are never torn — a
+// torn read would show aggregates diverging from a node-order
+// recomputation over the rows, or a sequence number moving backwards.
+func TestFleetConcurrentSnapshotReaders(t *testing.T) {
+	e, err := New(Config{Nodes: 16, Workers: 2, Mix: MixJittered, IdealSensor: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const intervals = 8
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		e.AdvanceN(intervals)
+	}()
+
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastSeq uint64
+			for {
+				s := e.Snapshot()
+				if s.Seq < lastSeq {
+					t.Errorf("snapshot sequence moved backwards: %d after %d", s.Seq, lastSeq)
+					return
+				}
+				lastSeq = s.Seq
+				if len(s.Nodes) != 16 {
+					t.Errorf("torn snapshot: %d nodes", len(s.Nodes))
+					return
+				}
+				var meas, truew float64
+				busy := 0
+				for i := range s.Nodes {
+					row := &s.Nodes[i]
+					if row.Node != i || row.Intervals != s.Seq {
+						t.Errorf("torn snapshot seq %d: row %d has Node=%d Intervals=%d",
+							s.Seq, i, row.Node, row.Intervals)
+						return
+					}
+					meas += row.MeasPowerW
+					truew += row.TruePowerW
+					busy += row.BusyCores
+				}
+				if meas != s.TotalMeasW || truew != s.TotalTrueW || busy != s.BusyCores {
+					t.Errorf("torn snapshot seq %d: aggregates diverge from rows", s.Seq)
+					return
+				}
+				select {
+				case <-done:
+					return
+				default:
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	<-done
+
+	if got := e.Snapshot().Seq; got != intervals {
+		t.Errorf("final Seq = %d, want %d", got, intervals)
+	}
+}

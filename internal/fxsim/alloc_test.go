@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"ppep/internal/arch"
+	"ppep/internal/trace"
 	"ppep/internal/workload"
 )
 
@@ -73,6 +74,55 @@ func TestReadIntervalAllocs(t *testing.T) {
 	})
 	if n != 4 {
 		t.Errorf("TickN+ReadInterval allocates %.1f times per interval, want exactly 4", n)
+	}
+}
+
+// TestReadIntervalIntoAllocs pins the reuse path: handing the same
+// record back every interval reuses its four slices, so the steady
+// state allocates nothing at all — the contract the fleet engine's
+// per-node scratch depends on. The values must also be bit-identical
+// to ReadInterval's (checked against a parallel chip with the same
+// seed and workload).
+func TestReadIntervalIntoAllocs(t *testing.T) {
+	c := busyChip(t)
+	var iv trace.Interval
+	c.TickN(arch.DecisionIntervalMS)
+	c.ReadIntervalInto(&iv) // warm-up: first call sizes the slices
+	n := testing.AllocsPerRun(100, func() {
+		c.TickN(arch.DecisionIntervalMS)
+		c.ReadIntervalInto(&iv)
+	})
+	if n != 0 {
+		t.Errorf("TickN+ReadIntervalInto allocates %.1f times per interval on reuse, want 0", n)
+	}
+}
+
+// TestReadIntervalIntoMatchesReadInterval pins bit-exact equivalence of
+// the two collection paths across a run with VF changes and idle cores.
+func TestReadIntervalIntoMatchesReadInterval(t *testing.T) {
+	a := busyChip(t)
+	b := busyChip(t)
+	var reused trace.Interval
+	states := []arch.VFState{arch.VF5, arch.VF2, arch.VF4}
+	for k := 0; k < 6; k++ {
+		s := states[k%len(states)]
+		if err := a.SetAllPStates(s); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.SetAllPStates(s); err != nil {
+			t.Fatal(err)
+		}
+		if k == 4 {
+			a.Unbind(3)
+			b.Unbind(3)
+		}
+		a.TickN(arch.DecisionIntervalMS)
+		b.TickN(arch.DecisionIntervalMS)
+		want := a.ReadInterval()
+		b.ReadIntervalInto(&reused)
+		if want.Fold(trace.FingerprintSeed) != reused.Fold(trace.FingerprintSeed) {
+			t.Fatalf("interval %d: ReadIntervalInto diverges from ReadInterval", k)
+		}
 	}
 }
 

@@ -714,32 +714,63 @@ func (c *Chip) CounterFile(core int) *pmc.CounterFile {
 // intervals long after the chip has moved on), so one exact-capacity
 // allocation per slice is inherent; what the append-growth path used to
 // add on top (10 allocs, ~1.6 KB per interval) is avoided by pre-sizing.
-// TestReadIntervalAllocs pins the budget.
+// TestReadIntervalAllocs pins the budget. Callers that do NOT retain the
+// record past the next interval should use ReadIntervalInto, which
+// reuses the caller's slices and is allocation-free in steady state.
 func (c *Chip) ReadInterval() trace.Interval {
+	var iv trace.Interval
+	c.ReadIntervalInto(&iv)
+	return iv
+}
+
+// ReadIntervalInto closes the current measurement interval into a
+// caller-owned record, reusing its slices whenever their capacity
+// allows (a record handed back on every call allocates only on the
+// first). The assembled values are bit-identical to ReadInterval's —
+// ReadInterval is this function applied to a zero record. The record
+// must not be read concurrently with the chip's tick loop, and a record
+// retained across the next ReadIntervalInto call on the same record is
+// overwritten — callers that keep history must copy it out (or use
+// ReadInterval). TestReadIntervalIntoAllocs pins the zero-alloc reuse
+// path; the fleet engine's per-node scratch records are the intended
+// consumer.
+func (c *Chip) ReadIntervalInto(iv *trace.Interval) {
 	dur := float64(c.tickCount) * TickS
-	iv := trace.Interval{
-		TimeS: c.timeS,
-		DurS:  dur,
-		TempK: float64(c.TempK()),
-		// The chip reuses intervalVF across intervals; the handed-out
-		// record must own its snapshot.
-		PerCoreVF: append(make([]arch.VFState, 0, len(c.intervalVF)), c.intervalVF...),
-		Counters:  make([]arch.EventVec, 0, len(c.threads)),
-		Busy:      make([]bool, 0, len(c.threads)),
+	iv.TimeS = c.timeS
+	iv.DurS = dur
+	iv.TempK = float64(c.TempK())
+	// The chip reuses intervalVF across intervals; the handed-out
+	// record must own its snapshot.
+	if cap(iv.PerCoreVF) < len(c.intervalVF) {
+		iv.PerCoreVF = make([]arch.VFState, 0, len(c.intervalVF))
 	}
+	iv.PerCoreVF = append(iv.PerCoreVF[:0], c.intervalVF...)
+	if cap(iv.Counters) < len(c.threads) {
+		iv.Counters = make([]arch.EventVec, 0, len(c.threads))
+	}
+	iv.Counters = iv.Counters[:0]
+	if cap(iv.Busy) < len(c.threads) {
+		iv.Busy = make([]bool, 0, len(c.threads))
+	}
+	iv.Busy = iv.Busy[:0]
 	for i := range c.threads {
 		iv.Counters = append(iv.Counters, c.mux[i].ReadInterval(dur*1000))
 		iv.Busy = append(iv.Busy, c.Busy(i))
 	}
+	iv.MeasPowerW = 0
 	if c.sensorN > 0 {
 		iv.MeasPowerW = c.sensorSum / float64(c.sensorN)
 	}
+	iv.TruePowerW, iv.TrueCoreW, iv.TrueNBW = 0, 0, 0
+	iv.TrueCoreDynW = iv.TrueCoreDynW[:0]
 	if c.tickCount > 0 {
 		n := float64(c.tickCount)
 		iv.TruePowerW = c.trueSum / n
 		iv.TrueCoreW = c.trueCoreSum / n
 		iv.TrueNBW = c.trueNBSum / n
-		iv.TrueCoreDynW = make([]float64, 0, len(c.coreDynSum))
+		if cap(iv.TrueCoreDynW) < len(c.coreDynSum) {
+			iv.TrueCoreDynW = make([]float64, 0, len(c.coreDynSum))
+		}
 		for _, w := range c.coreDynSum {
 			iv.TrueCoreDynW = append(iv.TrueCoreDynW, float64(w)/n)
 		}
@@ -750,5 +781,4 @@ func (c *Chip) ReadInterval() trace.Interval {
 		c.coreDynSum[i] = 0
 	}
 	c.tickCount = 0
-	return iv
 }

@@ -109,6 +109,7 @@ func DefaultConfig(modulePath string) Config {
 	pkgs := map[string]bool{}
 	for _, p := range []string{
 		"internal/fxsim",
+		"internal/fleet",
 		"internal/experiments",
 		"internal/powertruth",
 		"internal/uarch",

@@ -140,12 +140,23 @@ func (t *Trace) TotalInstructions() float64 {
 // tests use it to pin down the determinism guarantee: a fixed-seed run
 // must reproduce the same fingerprint across refactors of the tick loop.
 func (t *Trace) Fingerprint() uint64 {
-	h := fnvOffset
+	h := FingerprintSeed
 	for i := range t.Intervals {
 		h = t.Intervals[i].fingerprint(h)
 	}
 	return h
 }
+
+// FingerprintSeed is the initial value of an incremental interval
+// fingerprint: folding a trace's intervals into it with Fold, in order,
+// reproduces Trace.Fingerprint exactly. Consumers that never retain
+// whole traces (the fleet engine keeps one running hash per node) start
+// from this seed and fold each interval as it closes.
+const FingerprintSeed = fnvOffset
+
+// Fold folds the interval into a running order-sensitive FNV-1a
+// fingerprint (see FingerprintSeed). It is allocation-free.
+func (iv *Interval) Fold(h uint64) uint64 { return iv.fingerprint(h) }
 
 // FNV-1a constants (hash/fnv is avoided so the mixing of non-byte data
 // stays explicit and allocation-free).

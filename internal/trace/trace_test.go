@@ -33,6 +33,26 @@ func sampleTrace() *Trace {
 	return t
 }
 
+// TestFoldMatchesFingerprint pins the incremental fingerprint contract:
+// folding a trace's intervals into FingerprintSeed, in order, must
+// reproduce Trace.Fingerprint bit-for-bit (the fleet engine keeps one
+// running Fold per node instead of retaining traces).
+func TestFoldMatchesFingerprint(t *testing.T) {
+	tr := sampleTrace()
+	h := uint64(FingerprintSeed)
+	for i := range tr.Intervals {
+		h = tr.Intervals[i].Fold(h)
+	}
+	if want := tr.Fingerprint(); h != want {
+		t.Errorf("incremental Fold = %#x, Trace.Fingerprint = %#x", h, want)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		h = tr.Intervals[0].Fold(h)
+	}); n != 0 {
+		t.Errorf("Fold allocates %.1f times per call, want 0", n)
+	}
+}
+
 func TestIntervalAggregates(t *testing.T) {
 	iv := sampleInterval(0.2, arch.VF3)
 	if iv.VF() != arch.VF3 {
